@@ -1,0 +1,27 @@
+//! Criterion bench behind Figure 5: the multicore Montgomery multiplication
+//! schedule swept over the number of cores.
+
+use bignum::BigUint;
+use criterion::{criterion_group, criterion_main, Criterion};
+use platform::{Coprocessor, CostModel};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_multicore_schedule(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let p = bignum::gen_prime(256, &mut rng);
+    let x = BigUint::random_below(&mut rng, &p);
+    let y = BigUint::random_below(&mut rng, &p);
+    let mut group = c.benchmark_group("fig5/simulated_256bit_mm");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for cores in [1usize, 2, 4, 8] {
+        let cp = Coprocessor::new(CostModel::paper(), cores);
+        group.bench_function(format!("{cores}_cores"), |b| {
+            b.iter(|| cp.mont_mul(&x, &y, &p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multicore_schedule);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation bench: the three operand-scanning variants of Montgomery
+//! multiplication (FIOS, as used by the paper's microcode, vs CIOS and SOS)
+//! on the host bignum library.
+
+use bignum::{BigUint, MontgomeryParams, ReductionKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("ablation/mont_variants");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for bits in [170usize, 1024] {
+        let p = bignum::gen_prime(bits, &mut rng);
+        let mont = MontgomeryParams::new(&p).unwrap();
+        let x = mont.to_mont(&BigUint::random_below(&mut rng, &p));
+        let y = mont.to_mont(&BigUint::random_below(&mut rng, &p));
+        for (name, kind) in [
+            ("fios", ReductionKind::Fios),
+            ("cios", ReductionKind::Cios),
+            ("sos", ReductionKind::Sos),
+        ] {
+            group.bench_function(format!("{name}_{bits}"), |b| {
+                b.iter(|| mont.mont_mul_with(&x, &y, kind))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench behind Table 1: primitive modular operations, both on the
+//! simulated coprocessor (cycle model) and on the host bignum library
+//! (wall clock).
+
+use bignum::{BigUint, MontgomeryParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use platform::{Coprocessor, CostModel};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_simulated_modular_ops(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cp = Coprocessor::new(CostModel::paper(), 4);
+    let mut group = c.benchmark_group("table1/simulated");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    for bits in [160usize, 170, 1024] {
+        let p = bignum::gen_prime(bits, &mut rng);
+        let x = BigUint::random_below(&mut rng, &p);
+        let y = BigUint::random_below(&mut rng, &p);
+        group.bench_function(format!("mont_mul_{bits}"), |b| {
+            b.iter(|| cp.mont_mul(&x, &y, &p))
+        });
+        group.bench_function(format!("mod_add_{bits}"), |b| {
+            b.iter(|| cp.mod_add(&x, &y, &p))
+        });
+        group.bench_function(format!("mod_sub_{bits}"), |b| {
+            b.iter(|| cp.mod_sub(&x, &y, &p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_host_montgomery(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("table1/host");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for bits in [170usize, 1024] {
+        let p = bignum::gen_prime(bits, &mut rng);
+        let mont = MontgomeryParams::new(&p).unwrap();
+        let x = mont.to_mont(&BigUint::random_below(&mut rng, &p));
+        let y = mont.to_mont(&BigUint::random_below(&mut rng, &p));
+        group.bench_function(format!("mont_mul_{bits}"), |b| {
+            b.iter(|| mont.mont_mul(&x, &y))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_modular_ops, bench_host_montgomery);
+criterion_main!(benches);

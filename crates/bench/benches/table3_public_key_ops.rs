@@ -1,0 +1,50 @@
+//! Criterion bench behind Table 3: the three full public-key operations at
+//! the paper's operand sizes, measured on the host library (wall clock).
+//! The simulated-cycle version of Table 3 is produced by
+//! `cargo run -p bench --bin table3`.
+
+use bignum::BigUint;
+use ceilidh::CeilidhParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecc::{scalar_mul, Curve, ScalarMulAlgorithm};
+use rand::SeedableRng;
+use rsa_torus::RsaKeyPair;
+use std::time::Duration;
+
+fn bench_public_key_ops(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("table3/host");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // 170-bit torus exponentiation.
+    let params = CeilidhParams::date2008().unwrap();
+    let (_, base) = params.random_subgroup_element(&mut rng);
+    let exponent = BigUint::random_bits(&mut rng, 170);
+    group.bench_function("torus_exponentiation_170", |b| {
+        b.iter(|| params.pow(&base, &exponent))
+    });
+
+    // 160-bit ECC scalar multiplication.
+    let curve = Curve::p160_reproduction().unwrap();
+    let point = curve.random_point(&mut rng);
+    let scalar = BigUint::random_bits(&mut rng, 160);
+    group.bench_function("ecc_scalar_mult_160", |b| {
+        b.iter(|| scalar_mul(&curve, &point, &scalar, ScalarMulAlgorithm::DoubleAndAdd))
+    });
+
+    // 1024-bit RSA private-key exponentiation (full length and CRT).
+    let keys = RsaKeyPair::generate(1024, &mut rng).unwrap();
+    let message = BigUint::random_below(&mut rng, keys.public().modulus());
+    let ciphertext = keys.public().raw_encrypt(&message).unwrap();
+    group.bench_function("rsa_exponentiation_1024", |b| {
+        b.iter(|| keys.raw_decrypt(&ciphertext).unwrap())
+    });
+    group.bench_function("rsa_exponentiation_1024_crt", |b| {
+        b.iter(|| keys.raw_decrypt_crt(&ciphertext).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_public_key_ops);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation studies called out in DESIGN.md:
+//!
+//! * interrupt-cost sweep — where the Type-A bottleneck comes from and when
+//!   the two hierarchies cross over;
+//! * exponentiation window size for the torus;
+//! * core-count sweep for the 1024-bit RSA multiplication;
+//! * the paper's future-work items (faster modular adders, overlap between
+//!   modular operations), modelled as cost-model what-ifs.
+
+use bench::{print_table, Row};
+use bignum::BigUint;
+use ceilidh::CeilidhParams;
+use platform::{CostModel, Coprocessor, Hierarchy, Platform};
+use rand::SeedableRng;
+
+fn main() {
+    interrupt_sweep();
+    window_sweep();
+    core_sweep_rsa();
+    future_work();
+}
+
+fn interrupt_sweep() {
+    let mut rows = Vec::new();
+    for interrupt in [0u64, 46, 92, 184, 368] {
+        let cost = CostModel {
+            interrupt_cycles: interrupt,
+            ..CostModel::paper()
+        };
+        let a = Platform::new(cost, 4, Hierarchy::TypeA)
+            .fp6_multiplication_report(170)
+            .cycles;
+        let b = Platform::new(cost, 4, Hierarchy::TypeB)
+            .fp6_multiplication_report(170)
+            .cycles;
+        rows.push(Row {
+            label: format!("interrupt = {interrupt} cycles: Type-A {a}, Type-B {b}"),
+            paper: if interrupt == 184 { "3.78x".into() } else { "-".into() },
+            measured: format!("{:.2}x", a as f64 / b as f64),
+        });
+    }
+    print_table("Ablation: communication overhead (Type-A / Type-B ratio)", &rows);
+}
+
+fn window_sweep() {
+    let params = CeilidhParams::toy().expect("toy parameters");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let (_, g) = params.random_subgroup_element(&mut rng);
+    let exponent = BigUint::random_bits(&mut rng, 160);
+    let mut rows = Vec::new();
+    for window in [1usize, 2, 4, 6] {
+        params.fp().reset_op_count();
+        let _ = params.pow_window(&g, &exponent, window);
+        let ops = params.fp().op_count();
+        rows.push(Row {
+            label: format!("torus exponentiation, {window}-bit window"),
+            paper: "-".into(),
+            measured: format!("{}M", ops.mul),
+        });
+    }
+    print_table("Ablation: windowed torus exponentiation (Fp multiplications)", &rows);
+}
+
+fn core_sweep_rsa() {
+    let mut rows = Vec::new();
+    let single = Coprocessor::new(CostModel::paper(), 1).mont_mul_cycles(1024);
+    for cores in [1usize, 2, 4, 8] {
+        let cycles = Coprocessor::new(CostModel::paper(), cores).mont_mul_cycles(1024);
+        rows.push(Row {
+            label: format!("1024-bit MM on {cores} core(s)"),
+            paper: "-".into(),
+            measured: format!("{cycles} cycles ({:.2}x)", single as f64 / cycles as f64),
+        });
+    }
+    print_table("Ablation: core count for the RSA multiplication", &rows);
+}
+
+fn future_work() {
+    // Paper, Section 5: "by deploying fast modular adders, the performance
+    // can be improved" — model a 2x faster memory/ALU path for MA/MS.
+    let baseline = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    let fast_adder_cost = CostModel {
+        alu_cycles: 1,
+        mem_cycles: 1,
+        dispatch_cycles: 2,
+        ..CostModel::paper()
+    };
+    let fast = Platform::new(fast_adder_cost, 4, Hierarchy::TypeB);
+    let t6_base = baseline.fp6_multiplication_report(170).cycles;
+    let t6_fast = fast.fp6_multiplication_report(170).cycles;
+    let rows = vec![
+        Row::cycles("T6 mult., baseline cost model", 5908, t6_base),
+        Row::cycles("T6 mult., fast-adder cost model", 5908, t6_fast),
+        Row::ratio(
+            "improvement",
+            1.0,
+            t6_base as f64 / t6_fast as f64,
+        ),
+    ];
+    print_table("Ablation: the paper's future-work item (faster adders)", &rows);
+}

@@ -1,0 +1,66 @@
+//! Renders Figure 1: the hierarchy of torus operations and representations,
+//! and demonstrates that every level of the figure is implemented by
+//! exercising it on the built-in toy parameters.
+
+use bignum::BigUint;
+use ceilidh::{compress, decompress, CeilidhParams};
+use rand::SeedableRng;
+
+fn main() {
+    let params = CeilidhParams::toy().expect("toy parameters");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    println!("Figure 1: T6(Fp) operation hierarchy (representation F1 and F2)\n");
+    println!("            T6(Fp)  --ρ-->  A^2(Fp)   (compress / decompress)");
+    println!("              |");
+    println!("   F1 = Fp[z]/(z^6+z^3+1)   --τ-->   F2 = Fp3[y]/(y^2 - x·y + 1)");
+    println!("              |                               |");
+    println!("        Fp6: add, mul (18M), inv        Fp3: add, mul (6M), inv");
+    println!("              |                               |");
+    println!("             Fp: add, mul (Montgomery), inv  Fp");
+    println!();
+
+    // Exercise every arrow of the figure.
+    let fp6 = params.fp6();
+    let repr = params.repr();
+    let a = fp6.random(&mut rng);
+    let b = fp6.random(&mut rng);
+
+    // F1 arithmetic.
+    let prod_f1 = fp6.mul(&a, &b);
+    // τ / τ⁻¹: same product computed in representation F2.
+    let prod_f2 = repr.mul(&repr.from_f1(&a), &repr.from_f1(&b));
+    assert_eq!(repr.to_f1(&prod_f2), prod_f1);
+    println!("τ/τ⁻¹ : F1 and F2 multiplications agree            ... ok");
+
+    // ρ / ψ: compression round-trip on a torus element.
+    let (_, g) = params.random_subgroup_element(&mut rng);
+    let c = compress(&params, &g).expect("compressible");
+    assert_eq!(decompress(&params, &c).expect("decompressible"), g);
+    println!("ρ/ψ   : factor-3 compression round-trips            ... ok");
+
+    // Fp6 inversion against the norm tower.
+    let inv = fp6.inv(&a).expect("non-zero");
+    assert_eq!(fp6.mul(&a, &inv), fp6.one());
+    println!("inv   : Fp6 inversion via the Frobenius/norm tower  ... ok");
+
+    // Level-3 operation counts for one Fp6 multiplication.
+    params.fp().reset_op_count();
+    let _ = fp6.mul(&a, &b);
+    let ops = params.fp().op_count();
+    println!(
+        "cost  : one Fp6 multiplication = {}M + {}A (paper: 18M + 60A)",
+        ops.mul,
+        ops.additions_total()
+    );
+
+    let exp = BigUint::from(29u64);
+    params.fp().reset_op_count();
+    let _ = params.pow(&g, &exp);
+    let ops = params.fp().op_count();
+    println!(
+        "cost  : one 5-bit torus exponentiation = {}M + {}A",
+        ops.mul,
+        ops.additions_total()
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: the parallelised 256-bit Montgomery multiplication
+//! and its scaling with the number of cores (Section 3.3, which cites a
+//! 2.96x speed-up of 4 cores over 1 core).
+
+use bench::{paper, print_table, Row};
+use platform::{Coprocessor, CostModel};
+
+fn main() {
+    let single = Coprocessor::new(CostModel::paper(), 1).mont_mul_cycles(256);
+    let mut rows = Vec::new();
+    for cores in [1usize, 2, 3, 4, 6, 8] {
+        let cycles = Coprocessor::new(CostModel::paper(), cores).mont_mul_cycles(256);
+        let speedup = single as f64 / cycles as f64;
+        let paper_value = if cores == 4 {
+            format!("{:.2}x", paper::MULTICORE_SPEEDUP_4)
+        } else if cores == 1 {
+            "1.00x".to_string()
+        } else {
+            "-".to_string()
+        };
+        rows.push(Row {
+            label: format!("256-bit MM on {cores} core(s): {cycles} cycles"),
+            paper: paper_value,
+            measured: format!("{speedup:.2}x"),
+        });
+    }
+    print_table(
+        "Figure 5: multicore Montgomery multiplication (speed-up vs 1 core)",
+        &rows,
+    );
+    println!(
+        "\nAlso swept for the torus operand length (170-bit):"
+    );
+    for cores in [1usize, 2, 4] {
+        let cycles = Coprocessor::new(CostModel::paper(), cores).mont_mul_cycles(170);
+        println!("  170-bit MM on {cores} core(s): {cycles} cycles");
+    }
+}

@@ -1,0 +1,70 @@
+//! Prints the derived claims of the paper's running text in one place
+//! (the per-table binaries print the full tables).
+
+use bench::{paper, print_table, Row};
+use platform::{Coprocessor, CostModel, Hierarchy, Platform};
+
+fn main() {
+    let type_a = Platform::new(CostModel::paper(), 4, Hierarchy::TypeA);
+    let type_b = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+
+    let mm170 = type_b.montgomery_multiplication_report(170).cycles;
+    let mm1024 = type_b.montgomery_multiplication_report(1024).cycles;
+    let t6_a = type_a.fp6_multiplication_report(170).cycles;
+    let t6_b = type_b.fp6_multiplication_report(170).cycles;
+    let pa_a = type_a.ecc_point_addition_report(160).cycles;
+    let pa_b = type_b.ecc_point_addition_report(160).cycles;
+    let pd_a = type_a.ecc_point_doubling_report(160).cycles;
+    let pd_b = type_b.ecc_point_doubling_report(160).cycles;
+
+    // Table 3 shape from composite costs (full drivers are in `table3`).
+    let torus = (170 + 85) * t6_b;
+    let ecc = 160 * pd_b + 80 * pa_b;
+    let rsa = 1536 * (mm1024 + type_b.interrupt_cycles());
+    let to_ms = |c: u64| type_b.cost().cycles_to_ms(c);
+
+    let mc1 = Coprocessor::new(CostModel::paper(), 1).mont_mul_cycles(256);
+    let mc4 = Coprocessor::new(CostModel::paper(), 4).mont_mul_cycles(256);
+
+    let rows = vec![
+        Row::ratio(
+            "1024-bit MM vs 170-bit MM (Table 1)",
+            paper::MM_1024 as f64 / paper::MM_170 as f64,
+            mm1024 as f64 / mm170 as f64,
+        ),
+        Row::ratio(
+            "Type-B speed-up, T6 mult (Table 2)",
+            paper::T6_MULT_TYPE_A as f64 / paper::T6_MULT_TYPE_B as f64,
+            t6_a as f64 / t6_b as f64,
+        ),
+        Row::ratio(
+            "Type-B speed-up, ECC PA (Table 2)",
+            paper::ECC_PA_TYPE_A as f64 / paper::ECC_PA_TYPE_B as f64,
+            pa_a as f64 / pa_b as f64,
+        ),
+        Row::ratio(
+            "Type-B speed-up, ECC PD (Table 2)",
+            paper::ECC_PD_TYPE_A as f64 / paper::ECC_PD_TYPE_B as f64,
+            pd_a as f64 / pd_b as f64,
+        ),
+        Row::millis("torus exponentiation [ms] (Table 3)", paper::TORUS_MS, to_ms(torus)),
+        Row::millis("RSA exponentiation [ms] (Table 3)", paper::RSA_MS, to_ms(rsa)),
+        Row::millis("ECC scalar mult [ms] (Table 3)", paper::ECC_MS, to_ms(ecc)),
+        Row::ratio(
+            "CEILIDH faster than RSA (headline)",
+            paper::RSA_MS / paper::TORUS_MS,
+            rsa as f64 / torus as f64,
+        ),
+        Row::ratio(
+            "ECC faster than CEILIDH",
+            paper::TORUS_MS / paper::ECC_MS,
+            torus as f64 / ecc as f64,
+        ),
+        Row::ratio(
+            "4-core MM speed-up, 256-bit (Fig. 5)",
+            paper::MULTICORE_SPEEDUP_4,
+            mc1 as f64 / mc4 as f64,
+        ),
+    ];
+    print_table("Derived claims: paper vs reproduction", &rows);
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table 1: clock cycles of the primitive modular operations.
+
+use bench::{paper, print_table, Row};
+use platform::{CostModel, Hierarchy, Platform};
+
+fn main() {
+    let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    let rows = vec![
+        Row::cycles(
+            "Interrupt handling",
+            paper::INTERRUPT_CYCLES,
+            plat.interrupt_cycles(),
+        ),
+        Row::cycles(
+            "170-bit (torus) modular mult.",
+            paper::MM_170,
+            plat.montgomery_multiplication_report(170).cycles,
+        ),
+        Row::cycles(
+            "170-bit (torus) modular add.",
+            paper::MA_170,
+            plat.modular_addition_report(170).cycles,
+        ),
+        Row::cycles(
+            "170-bit (torus) modular sub.",
+            paper::MS_170,
+            plat.modular_subtraction_report(170).cycles,
+        ),
+        Row::cycles(
+            "160-bit (ECC) modular mult.",
+            paper::MM_160,
+            plat.montgomery_multiplication_report(160).cycles,
+        ),
+        Row::cycles(
+            "160-bit (ECC) modular add.",
+            paper::MA_160,
+            plat.modular_addition_report(160).cycles,
+        ),
+        Row::cycles(
+            "160-bit (ECC) modular sub.",
+            paper::MS_160,
+            plat.modular_subtraction_report(160).cycles,
+        ),
+        Row::cycles(
+            "1024-bit (RSA) modular mult.",
+            paper::MM_1024,
+            plat.montgomery_multiplication_report(1024).cycles,
+        ),
+        Row::ratio(
+            "1024-bit MM / 170-bit MM",
+            paper::MM_1024 as f64 / paper::MM_170 as f64,
+            plat.montgomery_multiplication_report(1024).cycles as f64
+                / plat.montgomery_multiplication_report(170).cycles as f64,
+        ),
+    ];
+    print_table("Table 1: cycles per modular operation", &rows);
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table 2: composite operations under Type-A and Type-B.
+
+use bench::{paper, print_table, Row};
+use platform::{CostModel, Hierarchy, Platform};
+
+fn main() {
+    let type_a = Platform::new(CostModel::paper(), 4, Hierarchy::TypeA);
+    let type_b = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+
+    let t6_a = type_a.fp6_multiplication_report(170).cycles;
+    let t6_b = type_b.fp6_multiplication_report(170).cycles;
+    let pa_a = type_a.ecc_point_addition_report(160).cycles;
+    let pa_b = type_b.ecc_point_addition_report(160).cycles;
+    let pd_a = type_a.ecc_point_doubling_report(160).cycles;
+    let pd_b = type_b.ecc_point_doubling_report(160).cycles;
+
+    let rows = vec![
+        Row::cycles("Type-A  torus T6 mult.", paper::T6_MULT_TYPE_A, t6_a),
+        Row::cycles("Type-A  ECC PA", paper::ECC_PA_TYPE_A, pa_a),
+        Row::cycles("Type-A  ECC PD", paper::ECC_PD_TYPE_A, pd_a),
+        Row::cycles("Type-B  torus T6 mult.", paper::T6_MULT_TYPE_B, t6_b),
+        Row::cycles("Type-B  ECC PA", paper::ECC_PA_TYPE_B, pa_b),
+        Row::cycles("Type-B  ECC PD", paper::ECC_PD_TYPE_B, pd_b),
+        Row::ratio(
+            "T6 mult. speed-up (Type-B vs Type-A)",
+            paper::T6_MULT_TYPE_A as f64 / paper::T6_MULT_TYPE_B as f64,
+            t6_a as f64 / t6_b as f64,
+        ),
+        Row::ratio(
+            "ECC PA speed-up (Type-B vs Type-A)",
+            paper::ECC_PA_TYPE_A as f64 / paper::ECC_PA_TYPE_B as f64,
+            pa_a as f64 / pa_b as f64,
+        ),
+        Row::ratio(
+            "ECC PD speed-up (Type-B vs Type-A)",
+            paper::ECC_PD_TYPE_A as f64 / paper::ECC_PD_TYPE_B as f64,
+            pd_a as f64 / pd_b as f64,
+        ),
+    ];
+    print_table(
+        "Table 2: cycles per composite operation (Type-A vs Type-B)",
+        &rows,
+    );
+}

@@ -1,0 +1,122 @@
+//! Shared plumbing for the benchmark harness: the paper's reported numbers
+//! and small helpers for rendering paper-vs-measured tables.
+//!
+//! Each table/figure of the evaluation has a report binary
+//! (`cargo run -p bench --bin table1|table2|table3|fig1_hierarchy|fig5_multicore|ablations|report`)
+//! and a Criterion bench (`cargo bench -p bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Paper-reported values (DATE 2008, Tables 1–3 and Section 3.3/Fig. 5).
+pub mod paper {
+    /// Table 1: interrupt handling cycles.
+    pub const INTERRUPT_CYCLES: u64 = 184;
+    /// Table 1: 170-bit Montgomery modular multiplication cycles.
+    pub const MM_170: u64 = 193;
+    /// Table 1: 170-bit modular addition cycles.
+    pub const MA_170: u64 = 47;
+    /// Table 1: 170-bit modular subtraction cycles.
+    pub const MS_170: u64 = 61;
+    /// Table 1: 160-bit Montgomery modular multiplication cycles.
+    pub const MM_160: u64 = 163;
+    /// Table 1: 160-bit modular addition cycles.
+    pub const MA_160: u64 = 40;
+    /// Table 1: 160-bit modular subtraction cycles.
+    pub const MS_160: u64 = 53;
+    /// Table 1: 1024-bit Montgomery modular multiplication cycles.
+    pub const MM_1024: u64 = 4447;
+
+    /// Table 2: Type-A T6 multiplication cycles.
+    pub const T6_MULT_TYPE_A: u64 = 22348;
+    /// Table 2: Type-A ECC point addition cycles.
+    pub const ECC_PA_TYPE_A: u64 = 7185;
+    /// Table 2: Type-A ECC point doubling cycles.
+    pub const ECC_PD_TYPE_A: u64 = 5793;
+    /// Table 2: Type-B T6 multiplication cycles.
+    pub const T6_MULT_TYPE_B: u64 = 5908;
+    /// Table 2: Type-B ECC point addition cycles.
+    pub const ECC_PA_TYPE_B: u64 = 2888;
+    /// Table 2: Type-B ECC point doubling cycles.
+    pub const ECC_PD_TYPE_B: u64 = 2665;
+
+    /// Table 3: 170-bit torus exponentiation latency (ms at 74 MHz).
+    pub const TORUS_MS: f64 = 20.0;
+    /// Table 3: 1024-bit RSA exponentiation latency (ms).
+    pub const RSA_MS: f64 = 96.0;
+    /// Table 3: 160-bit ECC scalar multiplication latency (ms).
+    pub const ECC_MS: f64 = 9.4;
+    /// Table 3: total area in slices (not reproducible without synthesis).
+    pub const AREA_SLICES: u64 = 5419;
+    /// Table 3: clock frequency in MHz.
+    pub const FREQ_MHZ: f64 = 74.0;
+
+    /// Section 3.3 / Fig. 5: speed-up of a 256-bit MM on 4 cores vs 1 core.
+    pub const MULTICORE_SPEEDUP_4: f64 = 2.96;
+}
+
+/// A row comparing a paper value against the reproduction's measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label.
+    pub label: String,
+    /// Value reported in the paper (formatted).
+    pub paper: String,
+    /// Value measured by the reproduction (formatted).
+    pub measured: String,
+}
+
+impl Row {
+    /// Builds a row from cycle counts.
+    pub fn cycles(label: &str, paper: u64, measured: u64) -> Row {
+        Row {
+            label: label.to_string(),
+            paper: format!("{paper}"),
+            measured: format!("{measured}"),
+        }
+    }
+
+    /// Builds a row from millisecond latencies.
+    pub fn millis(label: &str, paper: f64, measured: f64) -> Row {
+        Row {
+            label: label.to_string(),
+            paper: format!("{paper:.1}"),
+            measured: format!("{measured:.1}"),
+        }
+    }
+
+    /// Builds a row from dimensionless ratios.
+    pub fn ratio(label: &str, paper: f64, measured: f64) -> Row {
+        Row {
+            label: label.to_string(),
+            paper: format!("{paper:.2}x"),
+            measured: format!("{measured:.2}x"),
+        }
+    }
+}
+
+/// Renders a paper-vs-measured table to stdout.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!("{:<44} {:>12} {:>12}", "metric", "paper", "measured");
+    println!("{}", "-".repeat(70));
+    for row in rows {
+        println!("{:<44} {:>12} {:>12}", row.label, row.paper, row.measured);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_format_cleanly() {
+        let r = Row::cycles("MM 170-bit", 193, 200);
+        assert_eq!(r.paper, "193");
+        let r = Row::millis("torus", 20.0, 33.25);
+        assert_eq!(r.measured, "33.2");
+        let r = Row::ratio("speedup", 2.96, 3.015);
+        assert_eq!(r.measured, "3.02x");
+        print_table("smoke", &[r]);
+    }
+}

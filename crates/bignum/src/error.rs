@@ -1,0 +1,56 @@
+//! Error types for the `bignum` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`BigUint`](crate::BigUint) from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseBigUintError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a valid digit in the
+    /// requested radix.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBigUintError::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseBigUintError::InvalidDigit(c) => {
+                write!(f, "invalid digit {c:?} in integer literal")
+            }
+        }
+    }
+}
+
+impl Error for ParseBigUintError {}
+
+/// Error returned when a division or modular reduction by zero is attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivideByZeroError;
+
+impl fmt::Display for DivideByZeroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "division by zero")
+    }
+}
+
+impl Error for DivideByZeroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ParseBigUintError::Empty.to_string(),
+            "cannot parse integer from empty string"
+        );
+        assert!(ParseBigUintError::InvalidDigit('z')
+            .to_string()
+            .contains("'z'"));
+        assert_eq!(DivideByZeroError.to_string(), "division by zero");
+    }
+}

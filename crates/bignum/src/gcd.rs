@@ -1,0 +1,185 @@
+//! Greatest common divisor and the extended Euclidean algorithm.
+
+use crate::uint::BigUint;
+
+/// A signed multi-precision value used for Bézout coefficients.
+///
+/// Only the extended-GCD result needs a sign, so this intentionally stays a
+/// minimal magnitude/sign pair rather than a full signed integer type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedBig {
+    /// Absolute value.
+    pub magnitude: BigUint,
+    /// Sign flag; `true` means the value is negative. Zero is never negative.
+    pub negative: bool,
+}
+
+impl SignedBig {
+    fn zero() -> Self {
+        SignedBig {
+            magnitude: BigUint::zero(),
+            negative: false,
+        }
+    }
+
+    fn one() -> Self {
+        SignedBig {
+            magnitude: BigUint::one(),
+            negative: false,
+        }
+    }
+
+    /// Computes `self - q * other` with full sign handling.
+    fn sub_mul(&self, q: &BigUint, other: &SignedBig) -> SignedBig {
+        let prod = SignedBig {
+            magnitude: q * &other.magnitude,
+            negative: other.negative,
+        };
+        // self - prod
+        if self.negative == prod.negative {
+            // Same sign: subtract magnitudes.
+            if self.magnitude >= prod.magnitude {
+                let m = &self.magnitude - &prod.magnitude;
+                SignedBig {
+                    negative: self.negative && !m.is_zero(),
+                    magnitude: m,
+                }
+            } else {
+                let m = &prod.magnitude - &self.magnitude;
+                SignedBig {
+                    negative: !self.negative && !m.is_zero(),
+                    magnitude: m,
+                }
+            }
+        } else {
+            // Opposite sign: add magnitudes, keep self's sign.
+            SignedBig {
+                magnitude: &self.magnitude + &prod.magnitude,
+                negative: self.negative,
+            }
+        }
+    }
+
+    /// Reduces the value into `[0, modulus)`.
+    pub fn rem_euclid(&self, modulus: &BigUint) -> BigUint {
+        let r = &self.magnitude % modulus;
+        if self.negative && !r.is_zero() {
+            modulus - &r
+        } else {
+            r
+        }
+    }
+}
+
+/// Result of [`extended_gcd`]: `a*x + b*y = gcd(a, b)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedGcd {
+    /// `gcd(a, b)`.
+    pub gcd: BigUint,
+    /// Bézout coefficient of `a`.
+    pub x: SignedBig,
+    /// Bézout coefficient of `b`.
+    pub y: SignedBig,
+}
+
+/// Computes `gcd(a, b)` by the Euclidean algorithm.
+///
+/// ```
+/// use bignum::{gcd, BigUint};
+/// assert_eq!(gcd(&BigUint::from(54u64), &BigUint::from(24u64)).to_u64(), Some(6));
+/// ```
+pub fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
+    let mut r0 = a.clone();
+    let mut r1 = b.clone();
+    while !r1.is_zero() {
+        let r2 = &r0 % &r1;
+        r0 = r1;
+        r1 = r2;
+    }
+    r0
+}
+
+/// Computes the extended GCD of `a` and `b`: coefficients `x`, `y` with
+/// `a*x + b*y = gcd(a, b)`.
+///
+/// ```
+/// use bignum::{extended_gcd, BigUint};
+/// let g = extended_gcd(&BigUint::from(240u64), &BigUint::from(46u64));
+/// assert_eq!(g.gcd.to_u64(), Some(2));
+/// ```
+pub fn extended_gcd(a: &BigUint, b: &BigUint) -> ExtendedGcd {
+    let mut r0 = a.clone();
+    let mut r1 = b.clone();
+    let mut s0 = SignedBig::one();
+    let mut s1 = SignedBig::zero();
+    let mut t0 = SignedBig::zero();
+    let mut t1 = SignedBig::one();
+
+    while !r1.is_zero() {
+        let (q, r2) = r0.div_rem(&r1).expect("r1 checked non-zero");
+        let s2 = s0.sub_mul(&q, &s1);
+        let t2 = t0.sub_mul(&q, &t1);
+        r0 = r1;
+        r1 = r2;
+        s0 = s1;
+        s1 = s2;
+        t0 = t1;
+        t1 = t2;
+    }
+
+    ExtendedGcd {
+        gcd: r0,
+        x: s0,
+        y: t0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bezout(a: u64, b: u64) {
+        let ba = BigUint::from(a);
+        let bb = BigUint::from(b);
+        let e = extended_gcd(&ba, &bb);
+        // Verify a*x + b*y == gcd using i128 arithmetic.
+        let x = e.x.magnitude.to_u64().unwrap() as i128 * if e.x.negative { -1 } else { 1 };
+        let y = e.y.magnitude.to_u64().unwrap() as i128 * if e.y.negative { -1 } else { 1 };
+        let g = e.gcd.to_u64().unwrap() as i128;
+        assert_eq!(a as i128 * x + b as i128 * y, g, "a={a} b={b}");
+    }
+
+    #[test]
+    fn gcd_small_values() {
+        assert_eq!(gcd(&BigUint::from(0u64), &BigUint::from(5u64)).to_u64(), Some(5));
+        assert_eq!(gcd(&BigUint::from(5u64), &BigUint::from(0u64)).to_u64(), Some(5));
+        assert_eq!(gcd(&BigUint::from(12u64), &BigUint::from(18u64)).to_u64(), Some(6));
+        assert_eq!(gcd(&BigUint::from(17u64), &BigUint::from(31u64)).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn bezout_identity_holds() {
+        check_bezout(240, 46);
+        check_bezout(46, 240);
+        check_bezout(1, 1);
+        check_bezout(99991, 65537);
+        check_bezout(1000000007, 998244353);
+        check_bezout(12, 0);
+        check_bezout(0, 12);
+    }
+
+    #[test]
+    fn rem_euclid_wraps_negative() {
+        let m = BigUint::from(7u64);
+        let v = SignedBig {
+            magnitude: BigUint::from(3u64),
+            negative: true,
+        };
+        assert_eq!(v.rem_euclid(&m).to_u64(), Some(4));
+        let v = SignedBig {
+            magnitude: BigUint::from(10u64),
+            negative: false,
+        };
+        assert_eq!(v.rem_euclid(&m).to_u64(), Some(3));
+    }
+}

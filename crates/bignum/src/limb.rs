@@ -1,0 +1,95 @@
+//! Limb-level primitives.
+//!
+//! A [`Limb`] is one machine word of the radix-2^w representation used by
+//! [`BigUint`](crate::BigUint). The paper's coprocessor uses a `w`-bit
+//! datapath built from the FPGA's dedicated multipliers; on the host side we
+//! use 32-bit limbs with 64-bit intermediates, which keeps the carry logic
+//! identical in shape to the hardware's multiply-accumulate datapath.
+
+/// One machine word of a multi-precision integer (radix 2^32).
+pub type Limb = u32;
+
+/// A double-width intermediate used for multiply-accumulate operations.
+pub type DoubleLimb = u64;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: usize = 32;
+
+/// Add with carry: returns `(sum, carry_out)` of `a + b + carry_in`.
+#[inline]
+pub(crate) fn adc(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
+    let t = a as DoubleLimb + b as DoubleLimb + carry as DoubleLimb;
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// Subtract with borrow: returns `(diff, borrow_out)` of `a - b - borrow_in`.
+#[inline]
+pub(crate) fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
+    let t = (a as DoubleLimb)
+        .wrapping_sub(b as DoubleLimb)
+        .wrapping_sub(borrow as DoubleLimb);
+    (t as Limb, ((t >> LIMB_BITS) as Limb) & 1)
+}
+
+/// Multiply-accumulate: returns `(low, high)` of `a + b * c + carry`.
+#[inline]
+pub(crate) fn mac(a: Limb, b: Limb, c: Limb, carry: Limb) -> (Limb, Limb) {
+    let t = a as DoubleLimb + (b as DoubleLimb) * (c as DoubleLimb) + carry as DoubleLimb;
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// Computes `-m^{-1} mod 2^32` for odd `m` using Newton–Hensel lifting.
+///
+/// This is the per-modulus constant `p'` of Algorithm 1 (FIOS) in the paper.
+#[inline]
+pub(crate) fn inv_mod_limb(m: Limb) -> Limb {
+    debug_assert!(m & 1 == 1, "modulus must be odd");
+    // Newton iteration: x_{k+1} = x_k * (2 - m * x_k) doubles correct bits.
+    let mut x: Limb = 1;
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u32.wrapping_sub(m.wrapping_mul(x)));
+    }
+    x.wrapping_neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u32::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u32::MAX, u32::MAX, 1), (u32::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u32::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u32::MAX, 1));
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        // a + b*c + carry = 3 + 7*9 + 1 = 67
+        assert_eq!(mac(3, 7, 9, 1), (67, 0));
+        // Max everything still fits in a double limb.
+        let (lo, hi) = mac(u32::MAX, u32::MAX, u32::MAX, u32::MAX);
+        let expected =
+            u32::MAX as u64 + (u32::MAX as u64) * (u32::MAX as u64) + u32::MAX as u64;
+        assert_eq!(lo as u64 | ((hi as u64) << 32), expected);
+    }
+
+    #[test]
+    fn inv_mod_limb_is_negative_inverse() {
+        for &m in &[1u32, 3, 5, 0xFFFF_FFFF, 0x1234_5677, 2_147_483_659u32 as u32] {
+            if m & 1 == 0 {
+                continue;
+            }
+            let inv = inv_mod_limb(m);
+            // inv == -m^{-1} mod 2^32  <=>  m * inv == -1 mod 2^32
+            assert_eq!(m.wrapping_mul(inv).wrapping_add(1), 0, "m = {m}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Generic modular arithmetic helpers.
+//!
+//! These operate on reduced residues (`0 <= value < modulus`) and are used
+//! by the field tower, parameter generation and the reference
+//! implementations the coprocessor simulator is verified against. Hot-path
+//! multiplications use [`MontgomeryParams`](crate::MontgomeryParams) instead.
+
+use crate::gcd::extended_gcd;
+use crate::uint::BigUint;
+
+/// Computes `(a + b) mod m`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `a` or `b` is not reduced modulo `m`.
+pub fn mod_add(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    debug_assert!(a < m && b < m, "operands must be reduced");
+    let s = a + b;
+    if s >= *m {
+        &s - m
+    } else {
+        s
+    }
+}
+
+/// Computes `(a - b) mod m`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `a` or `b` is not reduced modulo `m`.
+pub fn mod_sub(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    debug_assert!(a < m && b < m, "operands must be reduced");
+    if a >= b {
+        a - b
+    } else {
+        &(a + m) - b
+    }
+}
+
+/// Computes `(-a) mod m`.
+pub fn mod_neg(a: &BigUint, m: &BigUint) -> BigUint {
+    debug_assert!(a < m, "operand must be reduced");
+    if a.is_zero() {
+        BigUint::zero()
+    } else {
+        m - a
+    }
+}
+
+/// Computes `(a * b) mod m` by full multiplication followed by reduction.
+pub fn mod_mul(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    &(a * b) % m
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+///
+/// ```
+/// use bignum::{mod_exp, BigUint};
+/// let m = BigUint::from(1000000007u64);
+/// assert_eq!(
+///     mod_exp(&BigUint::from(2u64), &BigUint::from(10u64), &m).to_u64(),
+///     Some(1024)
+/// );
+/// ```
+pub fn mod_exp(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    if m.is_one() {
+        return BigUint::zero();
+    }
+    let mut result = BigUint::one();
+    let mut b = base % m;
+    for i in 0..exp.bit_len() {
+        if exp.bit(i) {
+            result = mod_mul(&result, &b, m);
+        }
+        b = mod_mul(&b, &b, m);
+    }
+    result
+}
+
+/// Computes the modular inverse `a^{-1} mod m`, or `None` if
+/// `gcd(a, m) != 1`.
+///
+/// ```
+/// use bignum::{mod_inv, BigUint};
+/// let m = BigUint::from(97u64);
+/// let inv = mod_inv(&BigUint::from(3u64), &m).unwrap();
+/// assert_eq!((&inv * &BigUint::from(3u64)) % &m, BigUint::one());
+/// ```
+pub fn mod_inv(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    let e = extended_gcd(&(a % m), m);
+    if !e.gcd.is_one() {
+        return None;
+    }
+    Some(e.x.rem_euclid(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> BigUint {
+        BigUint::from(1_000_000_007u64)
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = BigUint::from(999_999_999u64);
+        let b = BigUint::from(100u64);
+        assert_eq!(mod_add(&a, &b, &m()).to_u64(), Some(92));
+        assert_eq!(mod_sub(&b, &a, &m()).to_u64(), Some(1_000_000_007 - 999_999_899));
+        assert_eq!(mod_neg(&b, &m()).to_u64(), Some(1_000_000_007 - 100));
+        assert_eq!(mod_neg(&BigUint::zero(), &m()), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 987_654_321u64;
+        let b = 123_456_789u64;
+        let expected = (a as u128 * b as u128 % 1_000_000_007u128) as u64;
+        assert_eq!(
+            mod_mul(&BigUint::from(a), &BigUint::from(b), &m()).to_u64(),
+            Some(expected)
+        );
+    }
+
+    #[test]
+    fn exp_fermat_little_theorem() {
+        // a^(p-1) == 1 mod p for prime p and gcd(a, p) = 1.
+        let p = m();
+        let exp = &p - &BigUint::one();
+        for a in [2u64, 3, 65537, 999_999_937] {
+            assert!(mod_exp(&BigUint::from(a), &exp, &p).is_one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn exp_edge_cases() {
+        assert_eq!(
+            mod_exp(&BigUint::from(5u64), &BigUint::zero(), &m()),
+            BigUint::one()
+        );
+        assert_eq!(
+            mod_exp(&BigUint::from(5u64), &BigUint::from(7u64), &BigUint::one()),
+            BigUint::zero()
+        );
+        assert_eq!(
+            mod_exp(&BigUint::zero(), &BigUint::from(7u64), &m()),
+            BigUint::zero()
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let p = m();
+        for a in [1u64, 2, 3, 65537, 999_999_999] {
+            let a = BigUint::from(a);
+            let inv = mod_inv(&a, &p).expect("p is prime");
+            assert!(mod_mul(&a, &inv, &p).is_one());
+        }
+    }
+
+    #[test]
+    fn inverse_of_non_coprime_is_none() {
+        let m = BigUint::from(12u64);
+        assert!(mod_inv(&BigUint::from(4u64), &m).is_none());
+        assert!(mod_inv(&BigUint::from(5u64), &m).is_some());
+        assert!(mod_inv(&BigUint::from(3u64), &BigUint::one()).is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the CEILIDH crate.
+
+use std::error::Error;
+use std::fmt;
+
+use field::FieldError;
+
+/// Errors raised by parameter construction, torus arithmetic, compression
+/// and the cryptographic protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CeilidhError {
+    /// The supplied domain parameters are inconsistent.
+    InvalidParameters(&'static str),
+    /// An element was expected to lie on the torus `T6` (or in the prime
+    /// order subgroup) but does not.
+    NotInTorus,
+    /// The element cannot be compressed (e.g. it is the identity, which the
+    /// rational parameterisation does not cover).
+    CompressionFailed(&'static str),
+    /// The compressed representation does not decode to a torus element.
+    DecompressionFailed(&'static str),
+    /// A ciphertext or signature failed validation.
+    VerificationFailed,
+    /// An underlying field operation failed.
+    Field(FieldError),
+}
+
+impl fmt::Display for CeilidhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CeilidhError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            CeilidhError::NotInTorus => write!(f, "element is not in the torus subgroup"),
+            CeilidhError::CompressionFailed(msg) => write!(f, "compression failed: {msg}"),
+            CeilidhError::DecompressionFailed(msg) => write!(f, "decompression failed: {msg}"),
+            CeilidhError::VerificationFailed => write!(f, "verification failed"),
+            CeilidhError::Field(e) => write!(f, "field error: {e}"),
+        }
+    }
+}
+
+impl Error for CeilidhError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CeilidhError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FieldError> for CeilidhError {
+    fn from(e: FieldError) -> Self {
+        CeilidhError::Field(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CeilidhError::InvalidParameters("p must be 2 mod 9");
+        assert!(e.to_string().contains("p must be 2 mod 9"));
+        assert!(CeilidhError::NotInTorus.to_string().contains("torus"));
+        let wrapped = CeilidhError::from(FieldError::DivisionByZero);
+        assert!(wrapped.source().is_some());
+        assert!(CeilidhError::VerificationFailed.source().is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! A small deterministic key-derivation / hashing helper.
+//!
+//! The DATE paper evaluates only the public-key primitives (exponentiation
+//! on the torus, ECC and RSA); it does not specify or evaluate a hash
+//! function. The protocols in this crate (hybrid ElGamal, Schnorr
+//! signatures) still need a way to turn group elements and messages into
+//! key streams and challenge scalars, so this module provides a compact
+//! sponge built on the SplitMix64 mixing permutation.
+//!
+//! **This construction is a reproduction placeholder, not a vetted
+//! cryptographic hash.** Swap in a real XOF before using any of the
+//! protocol code outside of benchmarking and testing.
+
+use bignum::BigUint;
+
+/// Sponge-style extendable-output function over SplitMix64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ToyKdf {
+    state: [u64; 4],
+    absorbed: u64,
+}
+
+/// SplitMix64 mixing step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ToyKdf {
+    /// Creates an empty sponge.
+    pub fn new() -> Self {
+        ToyKdf {
+            state: [
+                0x6a09_e667_f3bc_c908,
+                0xbb67_ae85_84ca_a73b,
+                0x3c6e_f372_fe94_f82b,
+                0xa54f_f53a_5f1d_36f1,
+            ],
+            absorbed: 0,
+        }
+    }
+
+    /// Absorbs a byte string into the sponge state.
+    pub fn absorb(&mut self, data: &[u8]) -> &mut Self {
+        for &b in data {
+            let lane = (self.absorbed % 4) as usize;
+            self.state[lane] = splitmix64(self.state[lane] ^ (b as u64) ^ self.absorbed.rotate_left(17));
+            self.absorbed = self.absorbed.wrapping_add(1);
+            // Cross-mix lanes after every word boundary.
+            if self.absorbed % 8 == 0 {
+                self.mix();
+            }
+        }
+        self
+    }
+
+    fn mix(&mut self) {
+        let [a, b, c, d] = self.state;
+        self.state = [
+            splitmix64(a ^ d.rotate_left(7)),
+            splitmix64(b ^ a.rotate_left(13)),
+            splitmix64(c ^ b.rotate_left(29)),
+            splitmix64(d ^ c.rotate_left(41)),
+        ];
+    }
+
+    /// Squeezes `len` output bytes.
+    pub fn squeeze(&self, len: usize) -> Vec<u8> {
+        let mut st = *self;
+        st.mix();
+        let mut out = Vec::with_capacity(len);
+        let mut counter = 0u64;
+        while out.len() < len {
+            let lane = (counter % 4) as usize;
+            let word = splitmix64(st.state[lane] ^ counter.wrapping_mul(0xA076_1D64_78BD_642F));
+            out.extend_from_slice(&word.to_le_bytes());
+            counter += 1;
+            if counter % 4 == 0 {
+                st.mix();
+            }
+        }
+        out.truncate(len);
+        out
+    }
+
+    /// One-shot convenience: absorbs `data` and squeezes `len` bytes.
+    pub fn derive(data: &[u8], len: usize) -> Vec<u8> {
+        let mut kdf = ToyKdf::new();
+        kdf.absorb(data);
+        kdf.squeeze(len)
+    }
+
+    /// Hashes arbitrary data to a scalar in `[0, modulus)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn hash_to_scalar(data: &[u8], modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulus must be positive");
+        // Oversample by 16 bytes so the bias from reduction is negligible.
+        let bytes = Self::derive(data, modulus.bit_len().div_ceil(8) + 16);
+        &BigUint::from_be_bytes(&bytes) % modulus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        let a = ToyKdf::derive(b"hello world", 32);
+        let b = ToyKdf::derive(b"hello world", 32);
+        let c = ToyKdf::derive(b"hello worle", 32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn squeeze_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 100] {
+            assert_eq!(ToyKdf::derive(b"x", len).len(), len);
+        }
+        // Prefix property: longer output starts with shorter output.
+        let short = ToyKdf::derive(b"prefix", 16);
+        let long = ToyKdf::derive(b"prefix", 64);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn incremental_absorption_matches_one_shot() {
+        let mut kdf = ToyKdf::new();
+        kdf.absorb(b"hello ").absorb(b"world");
+        assert_eq!(kdf.squeeze(24), ToyKdf::derive(b"hello world", 24));
+    }
+
+    #[test]
+    fn hash_to_scalar_is_reduced() {
+        let q = BigUint::from(1_000_003u64);
+        for msg in [&b"a"[..], b"b", b"longer message with more entropy"] {
+            let s = ToyKdf::hash_to_scalar(msg, &q);
+            assert!(s < q);
+        }
+        // Different messages give different scalars (overwhelmingly likely).
+        assert_ne!(
+            ToyKdf::hash_to_scalar(b"m1", &q),
+            ToyKdf::hash_to_scalar(b"m2", &q)
+        );
+    }
+
+    #[test]
+    fn output_distribution_is_not_degenerate() {
+        // Cheap sanity check: byte histogram of a long output is not wildly
+        // skewed (catches e.g. constantly-zero lanes).
+        let out = ToyKdf::derive(b"distribution", 4096);
+        let mut counts = [0usize; 256];
+        for &b in &out {
+            counts[b as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max < 64, "a single byte value dominates the output: {max}");
+    }
+}

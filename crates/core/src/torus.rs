@@ -1,0 +1,249 @@
+//! The torus group `T6(Fp)` and its subgroup of prime order `q`.
+
+use bignum::BigUint;
+use field::Fp6Element;
+use rand::Rng;
+
+use crate::error::CeilidhError;
+use crate::params::CeilidhParams;
+
+/// An element of the algebraic torus `T6(Fp)`, stored in representation F1.
+///
+/// The newtype exists so that protocol-level code cannot accidentally feed
+/// arbitrary `Fp6` values (outside the torus) into group operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TorusElement {
+    value: Fp6Element,
+}
+
+impl TorusElement {
+    /// Wraps an `Fp6` element **without** checking torus membership.
+    ///
+    /// Intended for internal use and for benchmarks that construct elements
+    /// they already know are valid; use [`CeilidhParams::lift`] otherwise.
+    pub fn from_fp6_unchecked(value: Fp6Element) -> Self {
+        TorusElement { value }
+    }
+
+    /// The underlying `Fp6` (representation F1) element.
+    pub fn as_fp6(&self) -> &Fp6Element {
+        &self.value
+    }
+
+    /// Consumes the wrapper, returning the `Fp6` element.
+    pub fn into_fp6(self) -> Fp6Element {
+        self.value
+    }
+}
+
+impl CeilidhParams {
+    /// The identity element of the torus.
+    pub fn identity(&self) -> TorusElement {
+        TorusElement::from_fp6_unchecked(self.fp6().one())
+    }
+
+    /// Checks whether an `Fp6` element lies on the torus `T6(Fp)`, i.e.
+    /// whether its relative norms to both `Fp3` and `Fp2` equal 1.
+    pub fn is_torus_member(&self, value: &Fp6Element) -> bool {
+        if value.is_zero() {
+            return false;
+        }
+        let fp6 = self.fp6();
+        fp6.norm_to_fp3(value) == fp6.one() && fp6.norm_to_fp2(value) == fp6.one()
+    }
+
+    /// Checks whether an element lies in the prime-order-`q` subgroup used
+    /// by the cryptosystem (a subgroup of the torus).
+    pub fn is_subgroup_member(&self, value: &Fp6Element) -> bool {
+        !value.is_zero() && self.fp6().exp(value, self.q()) == self.fp6().one()
+    }
+
+    /// Validates and wraps an `Fp6` element as a torus element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CeilidhError::NotInTorus`] if the element is not on `T6`.
+    pub fn lift(&self, value: Fp6Element) -> Result<TorusElement, CeilidhError> {
+        if self.is_torus_member(&value) {
+            Ok(TorusElement { value })
+        } else {
+            Err(CeilidhError::NotInTorus)
+        }
+    }
+
+    /// Group multiplication on the torus (one 18M `Fp6` multiplication).
+    pub fn mul(&self, a: &TorusElement, b: &TorusElement) -> TorusElement {
+        TorusElement {
+            value: self.fp6().mul(&a.value, &b.value),
+        }
+    }
+
+    /// Group inversion. For torus elements the inverse is the `Fp3`-conjugate
+    /// (`g^{-1} = g^{p³}`), a free coefficient permutation — one of the
+    /// operational advantages of torus-based systems.
+    pub fn invert(&self, a: &TorusElement) -> TorusElement {
+        TorusElement {
+            value: self.fp6().conjugate(&a.value),
+        }
+    }
+
+    /// Exponentiation `g^k` by square-and-multiply over representation F1
+    /// (the operation the paper's platform spends its 20 ms on).
+    pub fn pow(&self, base: &TorusElement, exponent: &BigUint) -> TorusElement {
+        TorusElement {
+            value: self.fp6().exp(&base.value, exponent),
+        }
+    }
+
+    /// Windowed exponentiation (used by the exponentiation ablation bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0 or larger than 8.
+    pub fn pow_window(
+        &self,
+        base: &TorusElement,
+        exponent: &BigUint,
+        window: usize,
+    ) -> TorusElement {
+        TorusElement {
+            value: self.fp6().exp_window(&base.value, exponent, window),
+        }
+    }
+
+    /// A uniformly random element of the order-`q` subgroup, together with
+    /// its discrete logarithm to the generator.
+    pub fn random_subgroup_element<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> (BigUint, TorusElement) {
+        let exponent = BigUint::random_below(rng, self.q());
+        let element = self.pow(&self.generator(), &exponent);
+        (exponent, element)
+    }
+
+    /// Projects an arbitrary non-zero field element onto the torus by
+    /// raising it to `(p^6 - 1)/Φ6(p)`. Returns `None` if the projection is
+    /// the identity.
+    pub fn project_to_torus(&self, value: &Fp6Element) -> Option<TorusElement> {
+        if value.is_zero() {
+            return None;
+        }
+        let p6_minus_1 = &self.p().pow(6) - &BigUint::one();
+        let (exp, rem) = p6_minus_1
+            .div_rem(&self.torus_order())
+            .expect("torus order is non-zero");
+        debug_assert!(rem.is_zero());
+        let projected = self.fp6().exp(value, &exp);
+        if projected == self.fp6().one() {
+            None
+        } else {
+            Some(TorusElement { value: projected })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn params() -> CeilidhParams {
+        CeilidhParams::toy().unwrap()
+    }
+
+    #[test]
+    fn generator_is_a_torus_member() {
+        let params = params();
+        let g = params.generator();
+        assert!(params.is_torus_member(g.as_fp6()));
+        assert!(params.is_subgroup_member(g.as_fp6()));
+        assert!(params.is_torus_member(params.identity().as_fp6()));
+        assert!(!params.is_torus_member(&params.fp6().zero()));
+    }
+
+    #[test]
+    fn membership_by_norms_matches_membership_by_order() {
+        let params = params();
+        let fp6 = params.fp6();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let order = params.torus_order();
+        for _ in 0..20 {
+            let candidate = fp6.random(&mut rng);
+            if candidate.is_zero() {
+                continue;
+            }
+            let by_norms = params.is_torus_member(&candidate);
+            let by_order = fp6.exp(&candidate, &order) == fp6.one();
+            assert_eq!(by_norms, by_order);
+        }
+    }
+
+    #[test]
+    fn group_laws() {
+        let params = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let (_, a) = params.random_subgroup_element(&mut rng);
+        let (_, b) = params.random_subgroup_element(&mut rng);
+        let (_, c) = params.random_subgroup_element(&mut rng);
+        assert_eq!(params.mul(&a, &b), params.mul(&b, &a));
+        assert_eq!(
+            params.mul(&params.mul(&a, &b), &c),
+            params.mul(&a, &params.mul(&b, &c))
+        );
+        assert_eq!(params.mul(&a, &params.identity()), a);
+        assert_eq!(params.mul(&a, &params.invert(&a)), params.identity());
+    }
+
+    #[test]
+    fn conjugation_inverse_matches_field_inverse() {
+        let params = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let (_, a) = params.random_subgroup_element(&mut rng);
+        let inv = params.invert(&a);
+        let field_inv = params.fp6().inv(a.as_fp6()).unwrap();
+        assert_eq!(inv.as_fp6(), &field_inv);
+    }
+
+    #[test]
+    fn exponentiation_laws() {
+        let params = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(54);
+        let g = params.generator();
+        let x = BigUint::random_below(&mut rng, params.q());
+        let y = BigUint::random_below(&mut rng, params.q());
+        // g^x * g^y = g^(x+y mod q)
+        let lhs = params.mul(&params.pow(&g, &x), &params.pow(&g, &y));
+        let sum = bignum::mod_add(&x, &y, params.q());
+        assert_eq!(lhs, params.pow(&g, &sum));
+        // g^q = 1
+        assert_eq!(params.pow(&g, params.q()), params.identity());
+        // windowed exponentiation agrees
+        assert_eq!(params.pow_window(&g, &x, 4), params.pow(&g, &x));
+    }
+
+    #[test]
+    fn lift_rejects_non_members() {
+        let params = params();
+        let bad = params.fp6().from_u64_coeffs([2, 0, 0, 0, 0, 0]);
+        assert_eq!(params.lift(bad).unwrap_err(), CeilidhError::NotInTorus);
+        let good = params.generator().into_fp6();
+        assert!(params.lift(good).is_ok());
+    }
+
+    #[test]
+    fn projection_lands_in_torus() {
+        let params = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for _ in 0..10 {
+            let v = params.fp6().random(&mut rng);
+            if v.is_zero() {
+                continue;
+            }
+            if let Some(t) = params.project_to_torus(&v) {
+                assert!(params.is_torus_member(t.as_fp6()));
+            }
+        }
+        assert!(params.project_to_torus(&params.fp6().zero()).is_none());
+    }
+}

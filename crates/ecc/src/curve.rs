@@ -1,0 +1,602 @@
+//! Short-Weierstrass curves `y² = x³ + ax + b` over `Fp` and their group law.
+
+use bignum::BigUint;
+use field::{FpContext, FpElement};
+use rand::Rng;
+
+use crate::error::EccError;
+use crate::point::{AffinePoint, JacobianPoint};
+
+/// A short-Weierstrass curve over a prime field, together with a base point.
+///
+/// See the crate-level docs for a key-exchange example. Curves for the
+/// reproduction come from [`Curve::p160_reproduction`] (the paper's 160-bit
+/// operand size) and [`Curve::toy`] (a small curve with an exhaustively
+/// counted group order, used to validate the group law).
+#[derive(Clone)]
+pub struct Curve {
+    fp: FpContext,
+    a: FpElement,
+    b: FpElement,
+    base: AffinePoint,
+    order: Option<BigUint>,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for Curve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Curve({}, {} bits)", self.name, self.fp.bit_len())
+    }
+}
+
+/// 160-bit prime used by the reproduction curve: `2^160 - 2^31 - 1`.
+const P_160_HEX: &str = "ffffffffffffffffffffffffffffffff7fffffff";
+
+impl Curve {
+    /// Builds a curve from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::InvalidCurve`] if the field is unusable or the
+    /// discriminant `4a³ + 27b²` vanishes, and [`EccError::PointNotOnCurve`]
+    /// if the base point does not satisfy the curve equation.
+    pub fn new(
+        p: &BigUint,
+        a: &BigUint,
+        b: &BigUint,
+        base_x: &BigUint,
+        base_y: &BigUint,
+        order: Option<BigUint>,
+        name: &'static str,
+    ) -> Result<Self, EccError> {
+        let fp = FpContext::new(p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
+        let a = fp.from_biguint(a);
+        let b = fp.from_biguint(b);
+        // Discriminant 4a³ + 27b² must be non-zero.
+        let disc = fp.add(
+            &fp.mul(&fp.from_u64(4), &fp.mul(&a, &fp.square(&a))),
+            &fp.mul(&fp.from_u64(27), &fp.square(&b)),
+        );
+        if disc.is_zero() {
+            return Err(EccError::InvalidCurve("curve is singular"));
+        }
+        let curve = Curve {
+            fp: fp.clone(),
+            a,
+            b,
+            base: AffinePoint::Infinity,
+            order,
+            name,
+        };
+        let base = curve.lift(&fp.from_biguint(base_x), &fp.from_biguint(base_y))?;
+        Ok(Curve { base, ..curve })
+    }
+
+    /// The 160-bit curve used to reproduce the paper's "160-bit ECC" rows:
+    /// `p = 2^160 - 2^31 - 1`, `a = -3`, and a small `b` chosen so the curve
+    /// is non-singular.
+    ///
+    /// The group order of this locally generated curve is *not* certified
+    /// (point counting is out of scope); the reproduction only needs field
+    /// and curve arithmetic at the 160-bit operand size (see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants; the `Result` mirrors
+    /// [`Curve::new`].
+    pub fn p160_reproduction() -> Result<Self, EccError> {
+        let p = BigUint::from_hex(P_160_HEX).expect("valid hex constant");
+        let a = &p - &BigUint::from(3u64); // a = -3
+        let b = BigUint::from(7u64);
+        // Base point found by scanning x = 1, 2, ... for a quadratic residue.
+        let fp = FpContext::new(&p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
+        let curve_no_base = Curve {
+            fp: fp.clone(),
+            a: fp.from_biguint(&a),
+            b: fp.from_biguint(&b),
+            base: AffinePoint::Infinity,
+            order: None,
+            name: "p160-reproduction",
+        };
+        let base = curve_no_base
+            .find_point_from(1)
+            .ok_or(EccError::InvalidCurve("no base point found"))?;
+        Ok(Curve {
+            base,
+            ..curve_no_base
+        })
+    }
+
+    /// A tiny curve over `p = 1009` whose group order is computed by
+    /// exhaustive point counting; used to validate the group law and scalar
+    /// multiplication against first principles.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in constants.
+    pub fn toy() -> Result<Self, EccError> {
+        let p = BigUint::from(1009u64);
+        let fp = FpContext::new(&p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
+        let mut curve = Curve {
+            fp: fp.clone(),
+            a: fp.from_u64(1),
+            b: fp.from_u64(6),
+            base: AffinePoint::Infinity,
+            order: None,
+            name: "toy-1009",
+        };
+        let order = curve.count_points_exhaustively();
+        curve.order = Some(order);
+        curve.base = curve
+            .find_point_from(1)
+            .ok_or(EccError::InvalidCurve("no base point found"))?;
+        Ok(curve)
+    }
+
+    /// The base prime-field context.
+    pub fn fp(&self) -> &FpContext {
+        &self.fp
+    }
+
+    /// The coefficient `a`.
+    pub fn a(&self) -> &FpElement {
+        &self.a
+    }
+
+    /// The coefficient `b`.
+    pub fn b(&self) -> &FpElement {
+        &self.b
+    }
+
+    /// The curve name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The base point.
+    pub fn base_point(&self) -> &AffinePoint {
+        &self.base
+    }
+
+    /// The group order, when known (only for [`Curve::toy`] and curves
+    /// constructed with an explicit order).
+    pub fn order(&self) -> Option<&BigUint> {
+        self.order.as_ref()
+    }
+
+    /// Checks the curve equation for a point.
+    pub fn is_on_curve(&self, point: &AffinePoint) -> bool {
+        match point {
+            AffinePoint::Infinity => true,
+            AffinePoint::Point { x, y } => {
+                let fp = &self.fp;
+                let rhs = fp.add(
+                    &fp.add(&fp.mul(x, &fp.square(x)), &fp.mul(&self.a, x)),
+                    &self.b,
+                );
+                fp.square(y) == rhs
+            }
+        }
+    }
+
+    /// Validates coordinates and returns the corresponding point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::PointNotOnCurve`] if the equation is not satisfied.
+    pub fn lift(&self, x: &FpElement, y: &FpElement) -> Result<AffinePoint, EccError> {
+        let p = AffinePoint::new(x.clone(), y.clone());
+        if self.is_on_curve(&p) {
+            Ok(p)
+        } else {
+            Err(EccError::PointNotOnCurve)
+        }
+    }
+
+    /// Negates a point.
+    pub fn negate(&self, point: &AffinePoint) -> AffinePoint {
+        match point {
+            AffinePoint::Infinity => AffinePoint::Infinity,
+            AffinePoint::Point { x, y } => AffinePoint::Point {
+                x: x.clone(),
+                y: self.fp.neg(y),
+            },
+        }
+    }
+
+    /// Affine point addition (one inversion per addition).
+    pub fn add(&self, p: &AffinePoint, q: &AffinePoint) -> AffinePoint {
+        let fp = &self.fp;
+        match (p, q) {
+            (AffinePoint::Infinity, _) => q.clone(),
+            (_, AffinePoint::Infinity) => p.clone(),
+            (AffinePoint::Point { x: x1, y: y1 }, AffinePoint::Point { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    if y1 == y2 && !y1.is_zero() {
+                        return self.double(p);
+                    }
+                    return AffinePoint::Infinity;
+                }
+                let lambda = fp.mul(
+                    &fp.sub(y2, y1),
+                    &fp.inv(&fp.sub(x2, x1)).expect("x2 != x1"),
+                );
+                let x3 = fp.sub(&fp.sub(&fp.square(&lambda), x1), x2);
+                let y3 = fp.sub(&fp.mul(&lambda, &fp.sub(x1, &x3)), y1);
+                AffinePoint::Point { x: x3, y: y3 }
+            }
+        }
+    }
+
+    /// Affine point doubling.
+    pub fn double(&self, p: &AffinePoint) -> AffinePoint {
+        let fp = &self.fp;
+        match p {
+            AffinePoint::Infinity => AffinePoint::Infinity,
+            AffinePoint::Point { x, y } => {
+                if y.is_zero() {
+                    return AffinePoint::Infinity;
+                }
+                let numer = fp.add(&fp.mul(&fp.from_u64(3), &fp.square(x)), &self.a);
+                let lambda = fp.mul(&numer, &fp.inv(&fp.double(y)).expect("y != 0"));
+                let x3 = fp.sub(&fp.sub(&fp.square(&lambda), x), x);
+                let y3 = fp.sub(&fp.mul(&lambda, &fp.sub(x, &x3)), y);
+                AffinePoint::Point { x: x3, y: y3 }
+            }
+        }
+    }
+
+    /// Converts an affine point to Jacobian coordinates.
+    pub fn to_jacobian(&self, p: &AffinePoint) -> JacobianPoint {
+        match p {
+            AffinePoint::Infinity => JacobianPoint {
+                x: self.fp.one(),
+                y: self.fp.one(),
+                z: self.fp.zero(),
+            },
+            AffinePoint::Point { x, y } => JacobianPoint {
+                x: x.clone(),
+                y: y.clone(),
+                z: self.fp.one(),
+            },
+        }
+    }
+
+    /// Converts a Jacobian point back to affine coordinates (one inversion).
+    pub fn to_affine(&self, p: &JacobianPoint) -> AffinePoint {
+        if p.is_infinity() {
+            return AffinePoint::Infinity;
+        }
+        let fp = &self.fp;
+        let z_inv = fp.inv(&p.z).expect("finite point has z != 0");
+        let z_inv2 = fp.square(&z_inv);
+        let z_inv3 = fp.mul(&z_inv2, &z_inv);
+        AffinePoint::Point {
+            x: fp.mul(&p.x, &z_inv2),
+            y: fp.mul(&p.y, &z_inv3),
+        }
+    }
+
+    /// Jacobian point doubling (the paper's PD sequence; inversion-free).
+    pub fn jacobian_double(&self, p: &JacobianPoint) -> JacobianPoint {
+        let fp = &self.fp;
+        if p.is_infinity() || p.y.is_zero() {
+            return JacobianPoint {
+                x: fp.one(),
+                y: fp.one(),
+                z: fp.zero(),
+            };
+        }
+        let a_sq = fp.square(&p.x); // X1²
+        let b_sq = fp.square(&p.y); // Y1²
+        let c = fp.square(&b_sq); // Y1⁴
+        // D = 2((X1 + B)² - A - C)
+        let d = fp.double(&fp.sub(
+            &fp.sub(&fp.square(&fp.add(&p.x, &b_sq)), &a_sq),
+            &c,
+        ));
+        // E = 3A + a·Z1⁴
+        let z2 = fp.square(&p.z);
+        let e = fp.add(
+            &fp.add(&fp.double(&a_sq), &a_sq),
+            &fp.mul(&self.a, &fp.square(&z2)),
+        );
+        let f = fp.square(&e);
+        let x3 = fp.sub(&f, &fp.double(&d));
+        let eight_c = fp.double(&fp.double(&fp.double(&c)));
+        let y3 = fp.sub(&fp.mul(&e, &fp.sub(&d, &x3)), &eight_c);
+        let z3 = fp.double(&fp.mul(&p.y, &p.z));
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Jacobian point addition (the paper's PA sequence; inversion-free).
+    pub fn jacobian_add(&self, p: &JacobianPoint, q: &JacobianPoint) -> JacobianPoint {
+        let fp = &self.fp;
+        if p.is_infinity() {
+            return q.clone();
+        }
+        if q.is_infinity() {
+            return p.clone();
+        }
+        let z1z1 = fp.square(&p.z);
+        let z2z2 = fp.square(&q.z);
+        let u1 = fp.mul(&p.x, &z2z2);
+        let u2 = fp.mul(&q.x, &z1z1);
+        let s1 = fp.mul(&p.y, &fp.mul(&q.z, &z2z2));
+        let s2 = fp.mul(&q.y, &fp.mul(&p.z, &z1z1));
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.jacobian_double(p);
+            }
+            return JacobianPoint {
+                x: fp.one(),
+                y: fp.one(),
+                z: fp.zero(),
+            };
+        }
+        let h = fp.sub(&u2, &u1);
+        let i = fp.square(&fp.double(&h));
+        let j = fp.mul(&h, &i);
+        let r = fp.double(&fp.sub(&s2, &s1));
+        let v = fp.mul(&u1, &i);
+        let x3 = fp.sub(&fp.sub(&fp.square(&r), &j), &fp.double(&v));
+        let y3 = fp.sub(
+            &fp.mul(&r, &fp.sub(&v, &x3)),
+            &fp.double(&fp.mul(&s1, &j)),
+        );
+        let z3 = fp.mul(
+            &fp.sub(&fp.sub(&fp.square(&fp.add(&p.z, &q.z)), &z1z1), &z2z2),
+            &h,
+        );
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Compresses a finite point to `(x, parity-of-y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::PointAtInfinity`] for the identity.
+    pub fn compress_point(&self, p: &AffinePoint) -> Result<(BigUint, bool), EccError> {
+        match p {
+            AffinePoint::Infinity => Err(EccError::PointAtInfinity),
+            AffinePoint::Point { x, y } => Ok((
+                self.fp.to_biguint(x),
+                self.fp.to_biguint(y).bit(0),
+            )),
+        }
+    }
+
+    /// Decompresses `(x, parity)` back to a point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::InvalidCompressedPoint`] if `x³ + ax + b` is not
+    /// a square.
+    pub fn decompress_point(&self, x: &BigUint, y_is_odd: bool) -> Result<AffinePoint, EccError> {
+        let fp = &self.fp;
+        let x = fp.from_biguint(x);
+        let rhs = fp.add(
+            &fp.add(&fp.mul(&x, &fp.square(&x)), &fp.mul(&self.a, &x)),
+            &self.b,
+        );
+        let y = if rhs.is_zero() {
+            fp.zero()
+        } else {
+            fp.sqrt(&rhs).ok_or(EccError::InvalidCompressedPoint)?
+        };
+        let y = if fp.to_biguint(&y).bit(0) == y_is_odd {
+            y
+        } else {
+            fp.neg(&y)
+        };
+        Ok(AffinePoint::Point { x, y })
+    }
+
+    /// A uniformly random point obtained by sampling x-coordinates until the
+    /// curve equation has a solution.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> AffinePoint {
+        loop {
+            let x = self.fp.random(rng);
+            if let Some(p) = self.lift_x(&x, rng.gen()) {
+                return p;
+            }
+        }
+    }
+
+    /// Lifts an x-coordinate to a point if possible, choosing the root by
+    /// `odd_y`.
+    pub fn lift_x(&self, x: &FpElement, odd_y: bool) -> Option<AffinePoint> {
+        let fp = &self.fp;
+        let rhs = fp.add(
+            &fp.add(&fp.mul(x, &fp.square(x)), &fp.mul(&self.a, x)),
+            &self.b,
+        );
+        if rhs.is_zero() {
+            return Some(AffinePoint::Point {
+                x: x.clone(),
+                y: fp.zero(),
+            });
+        }
+        let y = fp.sqrt(&rhs)?;
+        let y = if fp.to_biguint(&y).bit(0) == odd_y {
+            y
+        } else {
+            fp.neg(&y)
+        };
+        Some(AffinePoint::Point { x: x.clone(), y })
+    }
+
+    /// Finds the first point with `x >= start` by scanning x-coordinates.
+    fn find_point_from(&self, start: u64) -> Option<AffinePoint> {
+        for xi in start..start + 1000 {
+            let x = self.fp.from_u64(xi);
+            if let Some(p) = self.lift_x(&x, false) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Exhaustively counts the points on the curve (tiny fields only).
+    fn count_points_exhaustively(&self) -> BigUint {
+        let p = self.fp.modulus().to_u64().expect("toy field fits in u64");
+        let mut count = 1u64; // point at infinity
+        for xi in 0..p {
+            let x = self.fp.from_u64(xi);
+            let rhs = self.fp.add(
+                &self.fp.add(&self.fp.mul(&x, &self.fp.square(&x)), &self.fp.mul(&self.a, &x)),
+                &self.b,
+            );
+            if rhs.is_zero() {
+                count += 1;
+            } else if self.fp.is_square(&rhs) {
+                count += 2;
+            }
+        }
+        BigUint::from(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p160_prime_and_curve_are_sane() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = BigUint::from_hex(P_160_HEX).unwrap();
+        assert_eq!(p.bit_len(), 160);
+        assert!(bignum::is_prime(&p, &mut rng), "2^160 - 2^31 - 1 must be prime");
+        let curve = Curve::p160_reproduction().unwrap();
+        assert!(curve.is_on_curve(curve.base_point()));
+        assert!(!curve.base_point().is_infinity());
+    }
+
+    #[test]
+    fn singular_curves_are_rejected() {
+        // y² = x³ (a = b = 0) is singular.
+        let err = Curve::new(
+            &BigUint::from(1009u64),
+            &BigUint::zero(),
+            &BigUint::zero(),
+            &BigUint::one(),
+            &BigUint::one(),
+            None,
+            "singular",
+        )
+        .unwrap_err();
+        assert!(matches!(err, EccError::InvalidCurve(_)));
+    }
+
+    #[test]
+    fn base_point_must_be_on_curve() {
+        let err = Curve::new(
+            &BigUint::from(1009u64),
+            &BigUint::one(),
+            &BigUint::from(6u64),
+            &BigUint::from(123u64),
+            &BigUint::from(456u64),
+            None,
+            "bad-base",
+        );
+        assert!(matches!(err, Err(EccError::PointNotOnCurve)) || err.is_ok() == false);
+    }
+
+    #[test]
+    fn toy_group_order_annihilates_points() {
+        let curve = Curve::toy().unwrap();
+        let order = curve.order().unwrap().clone();
+        // Hasse bound: |N - (p+1)| <= 2*sqrt(p)  (sqrt(1009) ≈ 31.8)
+        let n = order.to_u64().unwrap() as i64;
+        assert!((n - 1010).abs() <= 64, "order {n} violates the Hasse bound");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let p = curve.random_point(&mut rng);
+            let result = crate::scalar::scalar_mul(&curve, &p, &order, crate::ScalarMulAlgorithm::DoubleAndAdd);
+            assert!(result.is_infinity(), "N·P must be the identity");
+        }
+    }
+
+    #[test]
+    fn affine_group_laws() {
+        let curve = Curve::toy().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let p = curve.random_point(&mut rng);
+            let q = curve.random_point(&mut rng);
+            let r = curve.random_point(&mut rng);
+            // Commutativity and associativity.
+            assert_eq!(curve.add(&p, &q), curve.add(&q, &p));
+            assert_eq!(
+                curve.add(&curve.add(&p, &q), &r),
+                curve.add(&p, &curve.add(&q, &r))
+            );
+            // Identity and inverse.
+            assert_eq!(curve.add(&p, &AffinePoint::Infinity), p);
+            assert!(curve.add(&p, &curve.negate(&p)).is_infinity());
+            // Closure.
+            assert!(curve.is_on_curve(&curve.add(&p, &q)));
+            assert!(curve.is_on_curve(&curve.double(&p)));
+            // Doubling consistency.
+            assert_eq!(curve.double(&p), curve.add(&p, &p));
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_affine() {
+        let curve = Curve::toy().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let p = curve.random_point(&mut rng);
+            let q = curve.random_point(&mut rng);
+            let jp = curve.to_jacobian(&p);
+            let jq = curve.to_jacobian(&q);
+            assert_eq!(curve.to_affine(&curve.jacobian_add(&jp, &jq)), curve.add(&p, &q));
+            assert_eq!(curve.to_affine(&curve.jacobian_double(&jp)), curve.double(&p));
+            // Adding a point to itself through the Jacobian path degrades to
+            // doubling correctly.
+            assert_eq!(curve.to_affine(&curve.jacobian_add(&jp, &jp)), curve.double(&p));
+        }
+        // Infinity handling.
+        let inf = curve.to_jacobian(&AffinePoint::Infinity);
+        let p = curve.random_point(&mut rng);
+        let jp = curve.to_jacobian(&p);
+        assert_eq!(curve.to_affine(&curve.jacobian_add(&inf, &jp)), p);
+        assert_eq!(curve.to_affine(&curve.jacobian_add(&jp, &inf)), p);
+    }
+
+    #[test]
+    fn point_compression_roundtrip() {
+        for curve in [Curve::toy().unwrap(), Curve::p160_reproduction().unwrap()] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            for _ in 0..5 {
+                let p = curve.random_point(&mut rng);
+                let (x, odd) = curve.compress_point(&p).unwrap();
+                assert_eq!(curve.decompress_point(&x, odd).unwrap(), p);
+            }
+            assert!(matches!(
+                curve.compress_point(&AffinePoint::Infinity),
+                Err(EccError::PointAtInfinity)
+            ));
+        }
+    }
+
+    #[test]
+    fn lift_rejects_points_off_curve() {
+        let curve = Curve::toy().unwrap();
+        let bad = curve.lift(&curve.fp().from_u64(5), &curve.fp().from_u64(5));
+        // Either (5,5) happens to be on the curve (unlikely) or it is rejected.
+        if let Err(e) = bad {
+            assert_eq!(e, EccError::PointNotOnCurve);
+        }
+    }
+}

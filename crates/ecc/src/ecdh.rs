@@ -1,0 +1,129 @@
+//! Elliptic-curve Diffie–Hellman on a [`Curve`].
+
+use bignum::BigUint;
+use rand::Rng;
+
+use crate::curve::Curve;
+use crate::error::EccError;
+use crate::point::AffinePoint;
+use crate::scalar::{scalar_mul, ScalarMulAlgorithm};
+
+/// An ECC key pair `(d, d·G)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EccKeyPair {
+    secret: BigUint,
+    public: AffinePoint,
+}
+
+impl EccKeyPair {
+    /// Generates a key pair. The secret scalar is drawn below the group
+    /// order when it is known and below `p` otherwise (sufficient for the
+    /// performance reproduction; see DESIGN.md).
+    pub fn generate<R: Rng + ?Sized>(curve: &Curve, rng: &mut R) -> Self {
+        let bound = curve
+            .order()
+            .cloned()
+            .unwrap_or_else(|| curve.fp().modulus().clone());
+        let one = BigUint::one();
+        let secret = &BigUint::random_below(rng, &(&bound - &one)) + &one;
+        Self::from_scalar(curve, secret)
+    }
+
+    /// Builds a key pair from an explicit secret scalar.
+    pub fn from_scalar(curve: &Curve, secret: BigUint) -> Self {
+        let public = scalar_mul(
+            curve,
+            curve.base_point(),
+            &secret,
+            ScalarMulAlgorithm::DoubleAndAdd,
+        );
+        EccKeyPair { secret, public }
+    }
+
+    /// The secret scalar.
+    pub fn secret(&self) -> &BigUint {
+        &self.secret
+    }
+
+    /// The public point.
+    pub fn public(&self) -> &AffinePoint {
+        &self.public
+    }
+}
+
+impl Curve {
+    /// Computes the ECDH shared x-coordinate `(d_A · Q_B).x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError::PointAtInfinity`] if the shared point degenerates
+    /// (e.g. a malicious peer sent a small-order point).
+    pub fn shared_secret(
+        &self,
+        secret: &BigUint,
+        peer_public: &AffinePoint,
+    ) -> Result<BigUint, EccError> {
+        if !self.is_on_curve(peer_public) {
+            return Err(EccError::PointNotOnCurve);
+        }
+        let shared = scalar_mul(self, peer_public, secret, ScalarMulAlgorithm::Naf);
+        match shared.coordinates() {
+            Some((x, _)) => Ok(self.fp().to_biguint(x)),
+            None => Err(EccError::PointAtInfinity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_agreement_on_both_curves() {
+        for curve in [Curve::toy().unwrap(), Curve::p160_reproduction().unwrap()] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+            let alice = EccKeyPair::generate(&curve, &mut rng);
+            let bob = EccKeyPair::generate(&curve, &mut rng);
+            let k1 = curve.shared_secret(alice.secret(), bob.public()).unwrap();
+            let k2 = curve.shared_secret(bob.secret(), alice.public()).unwrap();
+            assert_eq!(k1, k2);
+        }
+    }
+
+    #[test]
+    fn public_keys_are_on_curve() {
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let kp = EccKeyPair::generate(&curve, &mut rng);
+        assert!(curve.is_on_curve(kp.public()));
+        assert!(!kp.secret().is_zero());
+    }
+
+    #[test]
+    fn off_curve_peer_is_rejected() {
+        let curve = Curve::toy().unwrap();
+        let fake = AffinePoint::new(curve.fp().from_u64(3), curve.fp().from_u64(4));
+        if !curve.is_on_curve(&fake) {
+            assert_eq!(
+                curve.shared_secret(&BigUint::from(7u64), &fake).unwrap_err(),
+                EccError::PointNotOnCurve
+            );
+        }
+    }
+
+    #[test]
+    fn infinity_shared_point_is_reported() {
+        let curve = Curve::toy().unwrap();
+        let order = curve.order().unwrap().clone();
+        let alice = EccKeyPair::from_scalar(&curve, order);
+        // alice.public is the identity, so the shared point degenerates.
+        assert!(alice.public().is_infinity());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let bob = EccKeyPair::generate(&curve, &mut rng);
+        assert_eq!(
+            curve.shared_secret(bob.secret(), alice.public()).unwrap_err(),
+            EccError::PointAtInfinity
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the ECC crate.
+
+use std::error::Error;
+use std::fmt;
+
+use field::FieldError;
+
+/// Errors raised by curve construction and point operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EccError {
+    /// The curve parameters are invalid (singular curve or bad field).
+    InvalidCurve(&'static str),
+    /// The point does not satisfy the curve equation.
+    PointNotOnCurve,
+    /// A compressed point could not be decompressed (x has no matching y).
+    InvalidCompressedPoint,
+    /// The operation produced or required the point at infinity where a
+    /// finite point was expected.
+    PointAtInfinity,
+    /// An underlying field operation failed.
+    Field(FieldError),
+}
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccError::InvalidCurve(msg) => write!(f, "invalid curve: {msg}"),
+            EccError::PointNotOnCurve => write!(f, "point is not on the curve"),
+            EccError::InvalidCompressedPoint => write!(f, "compressed point has no square root"),
+            EccError::PointAtInfinity => write!(f, "unexpected point at infinity"),
+            EccError::Field(e) => write!(f, "field error: {e}"),
+        }
+    }
+}
+
+impl Error for EccError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EccError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FieldError> for EccError {
+    fn from(e: FieldError) -> Self {
+        EccError::Field(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EccError::InvalidCurve("singular").to_string().contains("singular"));
+        assert!(EccError::PointNotOnCurve.to_string().contains("curve"));
+        assert!(EccError::InvalidCompressedPoint.to_string().contains("square root"));
+        assert!(EccError::PointAtInfinity.to_string().contains("infinity"));
+        assert!(EccError::from(FieldError::DivisionByZero).source().is_some());
+    }
+}

@@ -1,0 +1,220 @@
+//! Scalar multiplication.
+//!
+//! The full 160-bit scalar multiplication is the operation behind Table 3's
+//! "160-bit ECC: 9.4 ms" row. Three classic algorithms are provided so the
+//! benchmark harness can ablate over them; all work on Jacobian coordinates
+//! and convert back to affine once at the end.
+
+use bignum::BigUint;
+
+use crate::curve::Curve;
+use crate::point::{AffinePoint, JacobianPoint};
+
+/// Scalar-multiplication algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarMulAlgorithm {
+    /// Left-to-right double-and-add (one PA per set bit).
+    DoubleAndAdd,
+    /// Signed-digit non-adjacent form (PA on roughly one third of the digits).
+    Naf,
+    /// Fixed 4-bit windows with a precomputed table.
+    Window4,
+}
+
+/// Computes `k · point` with the selected algorithm.
+pub fn scalar_mul(
+    curve: &Curve,
+    point: &AffinePoint,
+    k: &BigUint,
+    algorithm: ScalarMulAlgorithm,
+) -> AffinePoint {
+    if k.is_zero() || point.is_infinity() {
+        return AffinePoint::Infinity;
+    }
+    let result = match algorithm {
+        ScalarMulAlgorithm::DoubleAndAdd => double_and_add(curve, point, k),
+        ScalarMulAlgorithm::Naf => naf_mul(curve, point, k),
+        ScalarMulAlgorithm::Window4 => window_mul(curve, point, k, 4),
+    };
+    curve.to_affine(&result)
+}
+
+/// Computes `k · base_point` with the default algorithm (double-and-add,
+/// matching the sequence counted by the paper's cycle analysis).
+pub fn scalar_mul_base(curve: &Curve, k: &BigUint) -> AffinePoint {
+    scalar_mul(curve, curve.base_point(), k, ScalarMulAlgorithm::DoubleAndAdd)
+}
+
+fn double_and_add(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPoint {
+    let p = curve.to_jacobian(point);
+    let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
+    for i in (0..k.bit_len()).rev() {
+        acc = curve.jacobian_double(&acc);
+        if k.bit(i) {
+            acc = curve.jacobian_add(&acc, &p);
+        }
+    }
+    acc
+}
+
+/// Computes the non-adjacent form of `k` (least-significant digit first).
+pub fn naf_digits(k: &BigUint) -> Vec<i8> {
+    let mut digits = Vec::with_capacity(k.bit_len() + 1);
+    let mut n = k.clone();
+    let two = BigUint::from(2u64);
+    let four = BigUint::from(4u64);
+    while !n.is_zero() {
+        if n.is_odd() {
+            // d = 2 - (n mod 4): maps 1 -> 1 and 3 -> -1.
+            let rem = (&n % &four).to_u64().expect("mod 4 fits");
+            if rem == 1 {
+                digits.push(1);
+                n = &n - &BigUint::one();
+            } else {
+                digits.push(-1);
+                n = &n + &BigUint::one();
+            }
+        } else {
+            digits.push(0);
+        }
+        n = &n / &two;
+    }
+    digits
+}
+
+fn naf_mul(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPoint {
+    let digits = naf_digits(k);
+    let p = curve.to_jacobian(point);
+    let neg_p = curve.to_jacobian(&curve.negate(point));
+    let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
+    for &d in digits.iter().rev() {
+        acc = curve.jacobian_double(&acc);
+        match d {
+            1 => acc = curve.jacobian_add(&acc, &p),
+            -1 => acc = curve.jacobian_add(&acc, &neg_p),
+            _ => {}
+        }
+    }
+    acc
+}
+
+fn window_mul(curve: &Curve, point: &AffinePoint, k: &BigUint, window: usize) -> JacobianPoint {
+    // Precompute 1·P .. (2^w - 1)·P.
+    let table_len = 1usize << window;
+    let mut table = Vec::with_capacity(table_len);
+    table.push(curve.to_jacobian(&AffinePoint::Infinity));
+    table.push(curve.to_jacobian(point));
+    for i in 2..table_len {
+        let prev = &table[i - 1];
+        table.push(curve.jacobian_add(prev, &table[1]));
+    }
+    // Process the scalar in w-bit chunks, most significant first.
+    let chunks = k.bit_len().div_ceil(window);
+    let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
+    for chunk in (0..chunks).rev() {
+        for _ in 0..window {
+            acc = curve.jacobian_double(&acc);
+        }
+        let mut digit = 0usize;
+        for b in (0..window).rev() {
+            digit = (digit << 1) | k.bit(chunk * window + b) as usize;
+        }
+        if digit != 0 {
+            acc = curve.jacobian_add(&acc, &table[digit]);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn algorithms_agree_on_toy_curve() {
+        let curve = Curve::toy().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let p = curve.random_point(&mut rng);
+            let k = BigUint::random_bits(&mut rng, 40);
+            let reference = scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+            assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf), reference);
+            assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4), reference);
+            assert!(curve.is_on_curve(&reference));
+        }
+    }
+
+    #[test]
+    fn algorithms_agree_on_p160() {
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let p = curve.random_point(&mut rng);
+        let k = BigUint::random_bits(&mut rng, 160);
+        let reference = scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+        assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf), reference);
+        assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4), reference);
+        assert!(curve.is_on_curve(&reference));
+    }
+
+    #[test]
+    fn small_multiples_match_repeated_addition() {
+        let curve = Curve::toy().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let p = curve.random_point(&mut rng);
+        let mut acc = AffinePoint::Infinity;
+        for k in 0u64..20 {
+            let expected = acc.clone();
+            let got = scalar_mul(&curve, &p, &BigUint::from(k), ScalarMulAlgorithm::DoubleAndAdd);
+            assert_eq!(got, expected, "k = {k}");
+            acc = curve.add(&acc, &p);
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_addition_of_scalars() {
+        let curve = Curve::toy().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let p = curve.random_point(&mut rng);
+        let a = BigUint::from(123u64);
+        let b = BigUint::from(456u64);
+        let lhs = scalar_mul(&curve, &p, &(&a + &b), ScalarMulAlgorithm::DoubleAndAdd);
+        let rhs = curve.add(
+            &scalar_mul(&curve, &p, &a, ScalarMulAlgorithm::DoubleAndAdd),
+            &scalar_mul(&curve, &p, &b, ScalarMulAlgorithm::DoubleAndAdd),
+        );
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn naf_digits_reconstruct_the_scalar() {
+        for k in [0u64, 1, 2, 3, 7, 255, 1_000_003, u64::MAX] {
+            let digits = naf_digits(&BigUint::from(k));
+            let mut value: i128 = 0;
+            for (i, &d) in digits.iter().enumerate() {
+                value += (d as i128) << i;
+            }
+            assert_eq!(value, k as i128);
+            // Non-adjacency: no two consecutive non-zero digits.
+            for w in digits.windows(2) {
+                assert!(w[0] == 0 || w[1] == 0, "NAF property violated for {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_scalar_and_infinity_input() {
+        let curve = Curve::toy().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let p = curve.random_point(&mut rng);
+        assert!(scalar_mul(&curve, &p, &BigUint::zero(), ScalarMulAlgorithm::Naf).is_infinity());
+        assert!(scalar_mul(
+            &curve,
+            &AffinePoint::Infinity,
+            &BigUint::from(5u64),
+            ScalarMulAlgorithm::Window4
+        )
+        .is_infinity());
+        assert_eq!(scalar_mul_base(&curve, &BigUint::one()), *curve.base_point());
+    }
+}

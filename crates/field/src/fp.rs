@@ -1,0 +1,511 @@
+//! The base prime field `Fp`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bignum::{BigUint, MontgomeryParams};
+use rand::Rng;
+
+use crate::error::FieldError;
+use crate::opcount::{OpCount, OpCounter};
+
+/// Context for arithmetic in the prime field `Fp`.
+///
+/// All elements are kept in Montgomery form internally (mirroring the
+/// coprocessor, which works on Montgomery residues throughout an
+/// exponentiation), and every multiplication / addition / subtraction /
+/// inversion is recorded in the context's [`OpCounter`].
+///
+/// Cloning the context is cheap and clones share the same counter.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), field::FieldError> {
+/// use bignum::BigUint;
+/// use field::FpContext;
+///
+/// let fp = FpContext::new(&BigUint::from(1000000007u64))?;
+/// let a = fp.from_u64(3);
+/// let b = fp.inv(&a).expect("3 is invertible");
+/// assert_eq!(fp.mul(&a, &b), fp.one());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct FpContext {
+    inner: Arc<FpInner>,
+}
+
+struct FpInner {
+    modulus: BigUint,
+    mont: MontgomeryParams,
+    counter: Arc<OpCounter>,
+}
+
+/// An element of `Fp`, stored in Montgomery form.
+///
+/// Elements do not carry a back-reference to their context; mixing elements
+/// from different [`FpContext`]s is a logic error (debug builds may panic on
+/// limb-length mismatches).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FpElement {
+    mont: BigUint,
+}
+
+impl FpElement {
+    /// Returns `true` if this element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mont.is_zero()
+    }
+
+    /// Raw Montgomery-form representation (used by the platform simulator to
+    /// load operands into the coprocessor data memory).
+    pub fn mont_repr(&self) -> &BigUint {
+        &self.mont
+    }
+
+    /// Constructs an element directly from a Montgomery-form residue.
+    ///
+    /// This is the inverse of [`FpElement::mont_repr`] and is intended for
+    /// the platform simulator; normal users should go through
+    /// [`FpContext::from_biguint`].
+    pub fn from_mont_repr(mont: BigUint) -> Self {
+        FpElement { mont }
+    }
+}
+
+impl fmt::Debug for FpElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FpElement(mont=0x{})", self.mont.to_hex())
+    }
+}
+
+impl FpContext {
+    /// Creates a context for the field of integers modulo `p`.
+    ///
+    /// `p` must be odd and greater than 3; primality is the caller's
+    /// responsibility (parameter generation in the `ceilidh` crate uses
+    /// [`bignum::is_prime`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::InvalidModulus`] if `p` is even or `<= 3`.
+    pub fn new(p: &BigUint) -> Result<Self, FieldError> {
+        if p.is_even() || *p <= BigUint::from(3u64) {
+            return Err(FieldError::InvalidModulus);
+        }
+        let mont = MontgomeryParams::new(p).ok_or(FieldError::InvalidModulus)?;
+        Ok(FpContext {
+            inner: Arc::new(FpInner {
+                modulus: p.clone(),
+                mont,
+                counter: OpCounter::new(),
+            }),
+        })
+    }
+
+    /// The field characteristic `p`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.inner.modulus
+    }
+
+    /// Bit length of the modulus (e.g. 170 for the paper's torus field).
+    pub fn bit_len(&self) -> usize {
+        self.inner.modulus.bit_len()
+    }
+
+    /// The residue of `p` modulo `m` as a small integer.
+    pub fn modulus_mod(&self, m: u32) -> u32 {
+        (&self.inner.modulus % &BigUint::from(m)).to_u64().unwrap_or(0) as u32
+    }
+
+    /// The Montgomery parameters backing this field (exposed for the
+    /// platform simulator, which replays the same constants in microcode).
+    pub fn montgomery(&self) -> &MontgomeryParams {
+        &self.inner.mont
+    }
+
+    /// The shared operation counter.
+    pub fn counter(&self) -> &Arc<OpCounter> {
+        &self.inner.counter
+    }
+
+    /// Snapshot of the operation counts recorded so far.
+    pub fn op_count(&self) -> OpCount {
+        self.inner.counter.snapshot()
+    }
+
+    /// Resets the operation counters to zero.
+    pub fn reset_op_count(&self) {
+        self.inner.counter.reset();
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> FpElement {
+        FpElement {
+            mont: BigUint::zero(),
+        }
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> FpElement {
+        FpElement {
+            mont: self.inner.mont.one_mont(),
+        }
+    }
+
+    /// Embeds an arbitrary integer (reduced modulo `p`).
+    pub fn from_biguint(&self, v: &BigUint) -> FpElement {
+        FpElement {
+            mont: self.inner.mont.to_mont(v),
+        }
+    }
+
+    /// Embeds a small integer.
+    pub fn from_u64(&self, v: u64) -> FpElement {
+        self.from_biguint(&BigUint::from(v))
+    }
+
+    /// Embeds a signed small integer (negative values wrap modulo `p`).
+    pub fn from_i64(&self, v: i64) -> FpElement {
+        if v >= 0 {
+            self.from_u64(v as u64)
+        } else {
+            self.neg(&self.from_u64(v.unsigned_abs()))
+        }
+    }
+
+    /// Returns the canonical (non-Montgomery) residue of an element.
+    pub fn to_biguint(&self, a: &FpElement) -> BigUint {
+        self.inner.mont.from_mont(&a.mont)
+    }
+
+    /// Uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> FpElement {
+        self.from_biguint(&BigUint::random_below(rng, &self.inner.modulus))
+    }
+
+    /// Modular addition.
+    pub fn add(&self, a: &FpElement, b: &FpElement) -> FpElement {
+        self.inner.counter.record_add();
+        let s = &a.mont + &b.mont;
+        FpElement {
+            mont: if s >= self.inner.modulus {
+                &s - &self.inner.modulus
+            } else {
+                s
+            },
+        }
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, a: &FpElement, b: &FpElement) -> FpElement {
+        self.inner.counter.record_sub();
+        FpElement {
+            mont: if a.mont >= b.mont {
+                &a.mont - &b.mont
+            } else {
+                &(&a.mont + &self.inner.modulus) - &b.mont
+            },
+        }
+    }
+
+    /// Modular negation.
+    pub fn neg(&self, a: &FpElement) -> FpElement {
+        if a.is_zero() {
+            return self.zero();
+        }
+        self.inner.counter.record_sub();
+        FpElement {
+            mont: &self.inner.modulus - &a.mont,
+        }
+    }
+
+    /// Doubling (`a + a`), counted as one addition.
+    pub fn double(&self, a: &FpElement) -> FpElement {
+        self.add(a, a)
+    }
+
+    /// Modular multiplication (one Montgomery multiplication).
+    pub fn mul(&self, a: &FpElement, b: &FpElement) -> FpElement {
+        self.inner.counter.record_mul();
+        FpElement {
+            mont: self.inner.mont.mont_mul(&a.mont, &b.mont),
+        }
+    }
+
+    /// Modular squaring (counted as a multiplication, as in the paper).
+    pub fn square(&self, a: &FpElement) -> FpElement {
+        self.mul(a, a)
+    }
+
+    /// Multiplication by a small constant via repeated addition (the
+    /// coprocessor has no dedicated small-constant multiplier).
+    pub fn mul_small(&self, a: &FpElement, k: u32) -> FpElement {
+        let mut acc = self.zero();
+        for _ in 0..k {
+            acc = self.add(&acc, a);
+        }
+        acc
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn exp(&self, base: &FpElement, exp: &BigUint) -> FpElement {
+        let mut acc = self.one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.square(&acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, base);
+            }
+        }
+        acc
+    }
+
+    /// Modular inversion via Fermat's little theorem. Returns `None` for zero.
+    pub fn inv(&self, a: &FpElement) -> Option<FpElement> {
+        if a.is_zero() {
+            return None;
+        }
+        self.inner.counter.record_inv();
+        let exp = &self.inner.modulus - &BigUint::from(2u64);
+        // The exponentiation's internal multiplications are deliberately not
+        // double-counted: the paper treats inversion as its own primitive.
+        let mut acc = self.one();
+        for i in (0..exp.bit_len()).rev() {
+            acc = FpElement {
+                mont: self.inner.mont.mont_mul(&acc.mont, &acc.mont),
+            };
+            if exp.bit(i) {
+                acc = FpElement {
+                    mont: self.inner.mont.mont_mul(&acc.mont, &a.mont),
+                };
+            }
+        }
+        Some(acc)
+    }
+
+    /// Returns `true` if two contexts describe the same field.
+    pub fn same_field(&self, other: &FpContext) -> bool {
+        self.inner.modulus == other.inner.modulus
+    }
+
+    /// Euler's criterion: returns `true` if `a` is a non-zero quadratic
+    /// residue modulo `p`.
+    pub fn is_square(&self, a: &FpElement) -> bool {
+        if a.is_zero() {
+            return false;
+        }
+        let exp = (&self.inner.modulus - &BigUint::one()).shr_bits(1);
+        self.exp(a, &exp) == self.one()
+    }
+
+    /// Modular square root by Tonelli–Shanks. Returns `None` if `a` is a
+    /// non-residue; `Some(0)` for zero. When a root `r` exists, `p - r` is
+    /// the other root.
+    pub fn sqrt(&self, a: &FpElement) -> Option<FpElement> {
+        if a.is_zero() {
+            return Some(self.zero());
+        }
+        if !self.is_square(a) {
+            return None;
+        }
+        let p = &self.inner.modulus;
+        let one = BigUint::one();
+        // Fast path: p ≡ 3 (mod 4) → a^((p+1)/4).
+        if (p % &BigUint::from(4u64)).to_u64() == Some(3) {
+            let exp = (&(p + &one)).shr_bits(2);
+            return Some(self.exp(a, &exp));
+        }
+        // Tonelli–Shanks. Write p - 1 = q · 2^s with q odd.
+        let p_minus_one = p - &one;
+        let s = p_minus_one.trailing_zeros();
+        let q = p_minus_one.shr_bits(s);
+        // Find a quadratic non-residue z (deterministic scan; half of all
+        // elements qualify so this terminates quickly).
+        let mut z = self.from_u64(2);
+        while self.is_square(&z) {
+            z = self.add(&z, &self.one());
+        }
+        let mut m = s;
+        let mut c = self.exp(&z, &q);
+        let mut t = self.exp(a, &q);
+        let mut r = self.exp(a, &(&(&q + &one)).shr_bits(1));
+        while t != self.one() {
+            // Find the least i with t^(2^i) = 1.
+            let mut i = 0usize;
+            let mut probe = t.clone();
+            while probe != self.one() {
+                probe = self.square(&probe);
+                i += 1;
+                if i == m {
+                    return None; // unreachable for residues; defensive
+                }
+            }
+            let mut b = c.clone();
+            for _ in 0..(m - i - 1) {
+                b = self.square(&b);
+            }
+            m = i;
+            c = self.square(&b);
+            t = self.mul(&t, &c);
+            r = self.mul(&r, &b);
+        }
+        Some(r)
+    }
+}
+
+impl fmt::Debug for FpContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FpContext(p=0x{}, {} bits)", self.inner.modulus.to_hex(), self.bit_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> FpContext {
+        FpContext::new(&BigUint::from(1_000_000_007u64)).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_modulus() {
+        assert_eq!(
+            FpContext::new(&BigUint::from(10u64)).unwrap_err(),
+            FieldError::InvalidModulus
+        );
+        assert_eq!(
+            FpContext::new(&BigUint::from(3u64)).unwrap_err(),
+            FieldError::InvalidModulus
+        );
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let fp = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let a = fp.random(&mut rng);
+            let b = fp.random(&mut rng);
+            assert_eq!(fp.sub(&fp.add(&a, &b), &b), a);
+            assert_eq!(fp.add(&fp.sub(&a, &b), &b), a);
+        }
+    }
+
+    #[test]
+    fn neg_and_double() {
+        let fp = ctx();
+        let a = fp.from_u64(17);
+        assert_eq!(fp.add(&a, &fp.neg(&a)), fp.zero());
+        assert_eq!(fp.neg(&fp.zero()), fp.zero());
+        assert_eq!(fp.double(&a), fp.from_u64(34));
+        assert_eq!(fp.mul_small(&a, 5), fp.from_u64(85));
+        assert_eq!(fp.mul_small(&a, 0), fp.zero());
+    }
+
+    #[test]
+    fn mul_matches_plain_arithmetic() {
+        let fp = ctx();
+        let a = fp.from_u64(123_456_789);
+        let b = fp.from_u64(987_654_321);
+        let expected = (123_456_789u128 * 987_654_321u128 % 1_000_000_007u128) as u64;
+        assert_eq!(fp.to_biguint(&fp.mul(&a, &b)).to_u64(), Some(expected));
+    }
+
+    #[test]
+    fn from_i64_wraps() {
+        let fp = ctx();
+        assert_eq!(fp.from_i64(-1), fp.from_u64(1_000_000_006));
+        assert_eq!(fp.from_i64(5), fp.from_u64(5));
+    }
+
+    #[test]
+    fn inversion_and_exponentiation() {
+        let fp = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let a = fp.random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = fp.inv(&a).unwrap();
+            assert_eq!(fp.mul(&a, &inv), fp.one());
+        }
+        assert!(fp.inv(&fp.zero()).is_none());
+        // Fermat: a^(p-1) = 1.
+        let a = fp.from_u64(2);
+        let pm1 = fp.modulus() - &BigUint::one();
+        assert_eq!(fp.exp(&a, &pm1), fp.one());
+        assert_eq!(fp.exp(&a, &BigUint::zero()), fp.one());
+    }
+
+    #[test]
+    fn op_counter_tracks_operations() {
+        let fp = ctx();
+        fp.reset_op_count();
+        let a = fp.from_u64(3);
+        let b = fp.from_u64(5);
+        let _ = fp.mul(&a, &b);
+        let _ = fp.add(&a, &b);
+        let _ = fp.sub(&a, &b);
+        let _ = fp.inv(&a);
+        let c = fp.op_count();
+        assert_eq!(c.mul, 1);
+        assert_eq!(c.add, 1);
+        assert_eq!(c.sub, 1);
+        assert_eq!(c.inv, 1);
+    }
+
+    #[test]
+    fn montgomery_repr_roundtrip() {
+        let fp = ctx();
+        let a = fp.from_u64(424_242);
+        let repr = a.mont_repr().clone();
+        assert_eq!(FpElement::from_mont_repr(repr), a);
+    }
+
+    #[test]
+    fn modulus_mod_small() {
+        let fp = ctx();
+        assert_eq!(fp.modulus_mod(9), (1_000_000_007u64 % 9) as u32);
+    }
+
+    #[test]
+    fn sqrt_roundtrip_both_congruence_classes() {
+        // 1000000007 ≡ 3 (mod 4): fast path. 1000000009 ≡ 1 (mod 4): Tonelli–Shanks.
+        for p in [1_000_000_007u64, 1_000_000_009] {
+            let fp = FpContext::new(&BigUint::from(p)).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(p);
+            let mut found_nonresidue = false;
+            for _ in 0..20 {
+                let a = fp.random(&mut rng);
+                if a.is_zero() {
+                    continue;
+                }
+                let sq = fp.square(&a);
+                assert!(fp.is_square(&sq));
+                let r = fp.sqrt(&sq).expect("square has a root");
+                assert!(r == a || r == fp.neg(&a), "root must be ±a (p = {p})");
+                if !fp.is_square(&a) {
+                    found_nonresidue = true;
+                    assert!(fp.sqrt(&a).is_none());
+                }
+            }
+            assert!(found_nonresidue, "expected to see a non-residue");
+            assert_eq!(fp.sqrt(&fp.zero()), Some(fp.zero()));
+            assert!(!fp.is_square(&fp.zero()));
+        }
+    }
+
+    #[test]
+    fn contexts_share_counters_across_clones() {
+        let fp = ctx();
+        let fp2 = fp.clone();
+        fp.reset_op_count();
+        let _ = fp2.mul(&fp2.from_u64(2), &fp2.from_u64(3));
+        assert_eq!(fp.op_count().mul, 1);
+        assert!(fp.same_field(&fp2));
+    }
+}

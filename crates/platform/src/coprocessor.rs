@@ -1,0 +1,593 @@
+//! The multicore coprocessor: modular operations as microcoded sequences.
+//!
+//! The coprocessor executes three leaf operations on behalf of the
+//! MicroBlaze — Montgomery modular multiplication (MM), modular addition
+//! (MA) and modular subtraction (MS) — for arbitrary operand lengths
+//! (Section 3.2: "modular multiplications and additions with arbitrary
+//! operand length"). Additions and subtractions run on a single core
+//! (Section 4 explains that carry propagation makes multicore addition
+//! unattractive); multiplications use the carry-local multicore schedule of
+//! Fig. 5.
+//!
+//! Every operation is executed functionally — the simulator computes the
+//! actual numeric result, which the test-suite compares against the host
+//! `bignum` implementation — while cycles are accounted per microinstruction
+//! with single-port memory serialisation.
+
+use bignum::{mod_inv, BigUint};
+
+use crate::cost::CostModel;
+use crate::isa::{Core, MicroOp, Program};
+
+/// Result of one modular operation on the coprocessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModOpResult {
+    /// The numeric result (a reduced residue; for MM it is the Montgomery
+    /// product `x·y·R^{-1} mod p`).
+    pub value: BigUint,
+    /// Total clock cycles consumed.
+    pub cycles: u64,
+    /// Microinstructions executed across all cores.
+    pub instructions: u64,
+    /// Accesses to the single-port data memory.
+    pub memory_accesses: u64,
+}
+
+/// The multicore coprocessor model.
+#[derive(Debug, Clone)]
+pub struct Coprocessor {
+    cost: CostModel,
+    num_cores: usize,
+}
+
+impl Coprocessor {
+    /// Creates a coprocessor with `num_cores` embedded cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero.
+    pub fn new(cost: CostModel, num_cores: usize) -> Self {
+        assert!(num_cores >= 1, "the coprocessor needs at least one core");
+        assert!(
+            cost.word_bits >= 4 && cost.word_bits <= 16,
+            "the simulator models datapath widths of 4..=16 bits"
+        );
+        Coprocessor { cost, num_cores }
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of embedded cores.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Splits a residue into `s` datapath words (little endian).
+    fn to_words(&self, v: &BigUint, s: usize) -> Vec<u64> {
+        let w = self.cost.word_bits;
+        let mut words = Vec::with_capacity(s);
+        let mut cur = v.clone();
+        for _ in 0..s {
+            let (q, r) = cur.div_rem_limb(1 << w);
+            words.push(r as u64);
+            cur = q;
+        }
+        debug_assert!(cur.is_zero(), "operand does not fit in {s} words");
+        words
+    }
+
+    /// Reassembles a residue from datapath words.
+    fn from_words(&self, words: &[u64]) -> BigUint {
+        let w = self.cost.word_bits;
+        let mut acc = BigUint::zero();
+        for &word in words.iter().rev() {
+            acc = &acc.shl_bits(w) + &BigUint::from(word);
+        }
+        acc
+    }
+
+    /// Montgomery modular multiplication `x·y·R^{-1} mod p` with
+    /// `R = 2^{w·s}`, executed with the carry-local multicore schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even (Montgomery requires `gcd(p, r) = 1`,
+    /// Algorithm 1) or if an operand is not reduced.
+    pub fn mont_mul(&self, x: &BigUint, y: &BigUint, modulus: &BigUint) -> ModOpResult {
+        assert!(modulus.is_odd(), "Montgomery multiplication needs an odd modulus");
+        assert!(x < modulus && y < modulus, "operands must be reduced");
+        let w = self.cost.word_bits;
+        let s = self.cost.limbs(modulus.bit_len());
+        let radix = 1u64 << w;
+        let mask = radix - 1;
+
+        // p' = -p^{-1} mod 2^w  (the per-modulus constant of Algorithm 1).
+        let p_low = &BigUint::from(modulus.limbs()[0] as u64) % &BigUint::from(radix);
+        let p_inv = mod_inv(&p_low, &BigUint::from(radix)).expect("odd modulus");
+        let n_prime = (radix - p_inv.to_u64().expect("fits in a word")) & mask;
+
+        let xw = self.to_words(x, s);
+        let yw = self.to_words(y, s);
+        let pw = self.to_words(modulus, s);
+
+        // Limb ownership: contiguous, as even as possible, core 0 first.
+        // Every active core owns at least two limbs so that the carry-local
+        // schedule never defers a carry into the limb that determines T.
+        let cores = self.num_cores.min((s / 2).max(1));
+        let ranges = limb_ranges(s, cores);
+
+        // Per-core architectural state of the schedule.
+        let mut z = vec![0u64; s];
+        let mut pending_carry = vec![0u128; cores];
+
+        let mut cycles: u64 = 0;
+        let mut instructions: u64 = 0;
+        let mut memory_accesses: u64 = 0;
+
+        // Operand words (X, P and the running Z) live in the per-core
+        // register files for the duration of the multiplication, as in the
+        // paper; only Y is streamed from the data memory, one word per
+        // iteration, and T is broadcast by the decoder on the instruction
+        // bus.
+
+        for i in 0..s {
+            // ---- Phase A (core 0, serial): compute T. -------------------
+            // u = z0 + x0*yi ; T = u * p' mod r
+            let u = (z[0] as u128 + xw[0] as u128 * yw[i] as u128) & mask as u128;
+            let t = ((u * n_prime as u128) & mask as u128) as u64;
+            // 1 load (yi), 2 MAC, 2 AccOut-style ALU ops; T leaves on the bus.
+            let phase_a_instr = 5u64;
+            let phase_a_mem = 1u64;
+            cycles += 2 * self.cost.mac_cycles
+                + 2 * self.cost.alu_cycles
+                + phase_a_mem * self.cost.mem_cycles;
+            instructions += phase_a_instr;
+            memory_accesses += phase_a_mem;
+
+            // ---- Phase B (all cores in parallel): accumulate limbs. ------
+            // Each core j computes W[m] = z[m] + x[m]*yi + p[m]*T (+ pending
+            // carry at its top limb), shifting results down by one word.
+            // yi and T reach the cores on the instruction bus (no extra
+            // data-memory traffic).
+            let mut boundary_words = vec![0u64; cores];
+            let mut phase_b_core_cycles = vec![0u64; cores];
+            let phase_b_mem = 0u64;
+            for (j, range) in ranges.iter().enumerate() {
+                let _ = j;
+                let mut carry: u128 = 0;
+                let mut ops = 0u64;
+                for m in range.start..range.end {
+                    let mut acc = z[m] as u128
+                        + xw[m] as u128 * yw[i] as u128
+                        + pw[m] as u128 * t as u128
+                        + carry;
+                    // The pending carry from the previous iteration re-enters
+                    // at this core's top limb (the carry-local trick).
+                    if m == range.end - 1 {
+                        acc += pending_carry[j];
+                        ops += 1; // one extra AccAdd
+                    }
+                    let low = (acc & mask as u128) as u64;
+                    carry = acc >> w;
+                    if m == range.start {
+                        // Lowest limb of the core: either dropped (core 0,
+                        // global limb 0 — divisible by r by construction) or
+                        // transferred to the previous core.
+                        boundary_words[j] = low;
+                        if j == 0 {
+                            debug_assert_eq!(low, 0, "low word must vanish");
+                        }
+                    } else {
+                        z[m - 1] = low;
+                    }
+                    // 2 MAC + 1 AccAdd (z) + 1 AccOut per limb.
+                    ops += 4;
+                }
+                pending_carry[j] = carry;
+                instructions += ops;
+                phase_b_core_cycles[j] = ops * self.cost.mac_cycles;
+            }
+            // Parallel phase: longest core determines the latency; memory
+            // fetches serialise on the single port.
+            cycles += phase_b_core_cycles.iter().copied().max().unwrap_or(0)
+                + phase_b_mem * self.cost.mem_cycles;
+            memory_accesses += phase_b_mem;
+
+            // ---- Phase C: word transfers between neighbouring cores. -----
+            // Core j's lowest result word becomes core j-1's new top limb.
+            for j in 1..cores {
+                let dest_top = ranges[j - 1].end - 1;
+                z[dest_top] = boundary_words[j];
+            }
+            if s > 0 {
+                // The global top limb is refreshed from the last core's
+                // pending carry stream at the end (handled after the loop);
+                // within the loop the top limb simply receives the shifted
+                // word, which for the last core comes from its own carry.
+                let last = cores - 1;
+                let top = ranges[last].end - 1;
+                if ranges[last].end - ranges[last].start == 1 && cores > 1 {
+                    // A single-limb last core already wrote its boundary word
+                    // into the previous core; its own top limb comes from the
+                    // pending carry in the next iteration.
+                    z[top] = 0;
+                } else if cores == 1 {
+                    // Single-core: the top limb is produced by the carry.
+                    z[top] = 0;
+                } else {
+                    z[top] = 0;
+                }
+            }
+            let transfers = (cores - 1) as u64;
+            cycles += transfers * self.cost.transfer_cycles;
+            instructions += 2 * transfers;
+            memory_accesses += 2 * transfers;
+        }
+
+        // ---- Final fix-up: fold the remaining per-core carries. ----------
+        // Core j's pending carry has the weight of the limb just above its
+        // range in the final frame.
+        let mut extra_top: u128 = 0;
+        for (j, range) in ranges.iter().enumerate() {
+            let mut carry = pending_carry[j];
+            let mut m = range.end - 1;
+            // The carry belongs one position above range.end - 1 after the
+            // final shift, i.e. at index range.end - 1 + 1 - 1 = range.end - 1
+            // of the *shifted* frame... which is exactly where the schedule
+            // left a hole (the zeroed top limb). Add with propagation.
+            loop {
+                let sum = z[m] as u128 + carry;
+                z[m] = (sum & ((1u128 << w) - 1)) as u64;
+                carry = sum >> w;
+                if carry == 0 {
+                    break;
+                }
+                m += 1;
+                if m >= s {
+                    extra_top += carry;
+                    break;
+                }
+            }
+            instructions += 2;
+            cycles += 2 * self.cost.alu_cycles;
+        }
+
+        // ---- Conditional subtraction (Algorithm 1, lines 6-8). -----------
+        let mut value = self.from_words(&z);
+        if extra_top > 0 {
+            value = &value + &BigUint::from(extra_top as u64).shl_bits(w * s);
+        }
+        // The decoder always schedules the subtraction sequence (constant
+        // time): s SubB instructions plus s loads/stores on one core.
+        let sub_instr = 3 * s as u64;
+        let sub_mem = 2 * s as u64;
+        cycles += s as u64 * self.cost.alu_cycles + sub_mem * self.cost.mem_cycles;
+        instructions += sub_instr;
+        memory_accesses += sub_mem;
+        if value >= *modulus {
+            value = &value - modulus;
+        }
+        cycles += self.cost.dispatch_cycles;
+
+        debug_assert!(value < *modulus);
+        ModOpResult {
+            value,
+            cycles,
+            instructions,
+            memory_accesses,
+        }
+    }
+
+    /// Modular addition `(x + y) mod p` on a single core, executed at the
+    /// register level through the 7-instruction ISA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not reduced modulo `p`.
+    pub fn mod_add(&self, x: &BigUint, y: &BigUint, modulus: &BigUint) -> ModOpResult {
+        assert!(x < modulus && y < modulus, "operands must be reduced");
+        // x + y computed word-serially through the accumulator; the decoder
+        // dispatches the subtraction-of-p block only when the carry flag
+        // reports an overflow past the modulus.
+        let s = self.cost.limbs(modulus.bit_len());
+        let sum = x + y;
+        let needs_correction = sum >= *modulus;
+        let value = if needs_correction { &sum - modulus } else { sum };
+        let (program, mem_size) = self.add_like_program(s, needs_correction);
+        let report = self.run_single_core(&program, mem_size, x, y, modulus, s);
+        debug_assert_eq!(report.value, value, "register-level MA diverged from host");
+        ModOpResult { value, ..report }
+    }
+
+    /// Modular subtraction `(x - y) mod p` on a single core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not reduced modulo `p`.
+    pub fn mod_sub(&self, x: &BigUint, y: &BigUint, modulus: &BigUint) -> ModOpResult {
+        assert!(x < modulus && y < modulus, "operands must be reduced");
+        let needs_addback = x < y;
+        let value = if needs_addback { &(x + modulus) - y } else { x - y };
+        let s = self.cost.limbs(modulus.bit_len());
+        let (program, mem_size) = self.sub_like_program(s, needs_addback);
+        let report = self.run_single_core(&program, mem_size, x, y, modulus, s);
+        debug_assert_eq!(report.value, value, "register-level MS diverged from host");
+        ModOpResult { value, ..report }
+    }
+
+    /// Builds the word-serial addition microcode, optionally followed by the
+    /// subtraction-of-p correction block.
+    fn add_like_program(&self, s: usize, with_correction: bool) -> (Program, usize) {
+        let mut p = Program::new();
+        // Memory layout: [0..s) = X, [s..2s) = Y, [2s..3s) = P, [3s..4s) = Z.
+        for m in 0..s {
+            p.push(MicroOp::Load { dst: 0, addr: m as u16 });
+            p.push(MicroOp::Load { dst: 1, addr: (s + m) as u16 });
+            p.push(MicroOp::AccAdd { a: 0 });
+            p.push(MicroOp::AccAdd { a: 1 });
+            p.push(MicroOp::AccOut { dst: 2 });
+            p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+        }
+        if with_correction {
+            for m in 0..s {
+                p.push(MicroOp::Load { dst: 0, addr: (3 * s + m) as u16 });
+                p.push(MicroOp::Load { dst: 1, addr: (2 * s + m) as u16 });
+                p.push(MicroOp::SubB { dst: 2, a: 0, b: 1 });
+                p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+            }
+        }
+        (p, 4 * s)
+    }
+
+    /// Builds the word-serial subtraction microcode, optionally followed by
+    /// the add-p-back correction block.
+    fn sub_like_program(&self, s: usize, with_addback: bool) -> (Program, usize) {
+        let mut p = Program::new();
+        for m in 0..s {
+            p.push(MicroOp::Load { dst: 0, addr: m as u16 });
+            p.push(MicroOp::Load { dst: 1, addr: (s + m) as u16 });
+            p.push(MicroOp::SubB { dst: 2, a: 0, b: 1 });
+            p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+            // The per-word borrow is made visible to the decoder, which
+            // decides whether the add-back block runs.
+            p.push(MicroOp::AccOut { dst: 3 });
+        }
+        if with_addback {
+            for m in 0..s {
+                p.push(MicroOp::Load { dst: 0, addr: (3 * s + m) as u16 });
+                p.push(MicroOp::Load { dst: 1, addr: (2 * s + m) as u16 });
+                p.push(MicroOp::AccAdd { a: 0 });
+                p.push(MicroOp::AccAdd { a: 1 });
+                p.push(MicroOp::AccOut { dst: 2 });
+                p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+            }
+        }
+        (p, 4 * s)
+    }
+
+    /// Executes a single-core program with the standard X/Y/P memory layout
+    /// and returns the cycle accounting (the caller supplies the numeric
+    /// result, which the register-level program also produces in memory for
+    /// the word-width it models).
+    fn run_single_core(
+        &self,
+        program: &Program,
+        mem_size: usize,
+        x: &BigUint,
+        y: &BigUint,
+        modulus: &BigUint,
+        s: usize,
+    ) -> ModOpResult {
+        let mut memory = vec![0u64; mem_size];
+        memory[..s].copy_from_slice(&self.to_words(x, s));
+        memory[s..2 * s].copy_from_slice(&self.to_words(y, s));
+        memory[2 * s..3 * s].copy_from_slice(&self.to_words(modulus, s));
+        let mut core = Core::new(self.cost.word_bits);
+        core.clear_acc();
+        let instructions = core.execute(program, &mut memory);
+        let cycles = program.cycles(&self.cost) + self.cost.dispatch_cycles;
+        // The register-level execution leaves the result in the Z region of
+        // the data memory; return it so callers can cross-check it against
+        // the host arithmetic.
+        let value = self.from_words(&memory[3 * s..4 * s]);
+        ModOpResult {
+            value,
+            cycles,
+            instructions,
+            memory_accesses: program.memory_accesses(),
+        }
+    }
+
+    /// Cycle count of one Montgomery multiplication at the given operand
+    /// length (operand values do not influence the cycle count).
+    pub fn mont_mul_cycles(&self, bits: usize) -> u64 {
+        let p = sample_modulus(bits);
+        let x = &p - &BigUint::from(2u64);
+        let y = &p - &BigUint::from(3u64);
+        self.mont_mul(&x, &y, &p).cycles
+    }
+
+    /// Cycle count of one modular addition at the given operand length
+    /// (the common case where no correction block is needed, which is what
+    /// Table 1 reports).
+    pub fn mod_add_cycles(&self, bits: usize) -> u64 {
+        let p = sample_modulus(bits);
+        let x = BigUint::from(2u64);
+        let y = BigUint::from(3u64);
+        self.mod_add(&x, &y, &p).cycles
+    }
+
+    /// Cycle count of one modular subtraction at the given operand length
+    /// (no add-back case).
+    pub fn mod_sub_cycles(&self, bits: usize) -> u64 {
+        let p = sample_modulus(bits);
+        let x = BigUint::from(3u64);
+        let y = BigUint::from(2u64);
+        self.mod_sub(&x, &y, &p).cycles
+    }
+}
+
+/// Contiguous limb ranges assigned to each core (Fig. 5's distribution).
+fn limb_ranges(s: usize, cores: usize) -> Vec<std::ops::Range<usize>> {
+    let base = s / cores;
+    let extra = s % cores;
+    let mut ranges = Vec::with_capacity(cores);
+    let mut start = 0;
+    for j in 0..cores {
+        let len = base + usize::from(j < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// A deterministic odd modulus with exactly `bits` bits, used for
+/// cycle-count probes.
+fn sample_modulus(bits: usize) -> BigUint {
+    // 2^(bits-1) + 2^(bits/2) + 1: odd, full bit length.
+    let mut m = BigUint::one().shl_bits(bits - 1);
+    m = &m + &BigUint::one().shl_bits(bits / 2);
+    &m + &BigUint::one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bignum::MontgomeryParams;
+    use rand::SeedableRng;
+
+    fn coproc(cores: usize) -> Coprocessor {
+        Coprocessor::new(CostModel::paper(), cores)
+    }
+
+    #[test]
+    fn limb_ranges_cover_everything() {
+        for s in [1usize, 4, 7, 11, 64] {
+            for cores in [1usize, 2, 3, 4, 8] {
+                let cores = cores.min(s);
+                let ranges = limb_ranges(s, cores);
+                assert_eq!(ranges.len(), cores);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, s);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_product_matches_host_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        for bits in [32usize, 96, 160, 170, 256] {
+            let p = bignum::gen_prime(bits, &mut rng);
+            let mont_ref = MontgomeryParams::new(&p).unwrap();
+            for cores in [1usize, 2, 4] {
+                let cp = coproc(cores);
+                for _ in 0..3 {
+                    let x = BigUint::random_below(&mut rng, &p);
+                    let y = BigUint::random_below(&mut rng, &p);
+                    let got = cp.mont_mul(&x, &y, &p);
+                    // The simulator uses R = 2^(16·s); compare against a host
+                    // computation with the same R by scaling appropriately:
+                    // host value = x*y*2^{-32·s32} — instead check the defining
+                    // property: got.value * R ≡ x*y (mod p).
+                    let w = cp.cost().word_bits;
+                    let s = cp.cost().limbs(p.bit_len());
+                    let r = BigUint::one().shl_bits(w * s) % &p;
+                    let lhs = (&got.value * &r) % &p;
+                    let rhs = (&x * &y) % &p;
+                    assert_eq!(lhs, rhs, "bits={bits} cores={cores}");
+                    assert!(got.value < p);
+                    let _ = &mont_ref;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modular_add_sub_match_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+        let cp = coproc(4);
+        for bits in [160usize, 170, 1024] {
+            let p = bignum::gen_prime(bits, &mut rng);
+            for _ in 0..3 {
+                let x = BigUint::random_below(&mut rng, &p);
+                let y = BigUint::random_below(&mut rng, &p);
+                assert_eq!(cp.mod_add(&x, &y, &p).value, bignum::mod_add(&x, &y, &p));
+                assert_eq!(cp.mod_sub(&x, &y, &p).value, bignum::mod_sub(&x, &y, &p));
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_counts_follow_table1_shape() {
+        let cp = coproc(4);
+        let mm170 = cp.mont_mul_cycles(170);
+        let mm160 = cp.mont_mul_cycles(160);
+        let mm1024 = cp.mont_mul_cycles(1024);
+        let ma170 = cp.mod_add_cycles(170);
+        let ms170 = cp.mod_sub_cycles(170);
+        // 160-bit is a little faster than 170-bit (Table 1).
+        assert!(mm160 < mm170, "mm160={mm160} mm170={mm170}");
+        // 1024-bit MM is roughly 20-30x slower than 170-bit (paper: 23x).
+        let ratio = mm1024 as f64 / mm170 as f64;
+        assert!((15.0..40.0).contains(&ratio), "ratio = {ratio}");
+        // Additions and subtractions are much cheaper than multiplications
+        // but not free (Table 1: 47 and 61 cycles versus 193).
+        assert!(ma170 < mm170 / 2, "ma170={ma170} mm170={mm170}");
+        assert!(ms170 < mm170 / 2, "ms170={ms170} mm170={mm170}");
+        assert!(ma170 > 10 && ms170 > 10);
+        // MA and MS are of the same order (the paper reports 47 vs 61).
+        let hi = ma170.max(ms170) as f64;
+        let lo = ma170.min(ms170) as f64;
+        assert!(hi / lo < 2.0, "ms={ms170} ma={ma170}");
+    }
+
+    #[test]
+    fn more_cores_speed_up_multiplication() {
+        let c1 = coproc(1).mont_mul_cycles(256);
+        let c2 = coproc(2).mont_mul_cycles(256);
+        let c4 = coproc(4).mont_mul_cycles(256);
+        assert!(c2 < c1, "2 cores ({c2}) should beat 1 core ({c1})");
+        assert!(c4 < c2, "4 cores ({c4}) should beat 2 cores ({c2})");
+        // The paper reports 2.96x for 4 cores on 256-bit operands; accept a
+        // broad band around that.
+        let speedup = c1 as f64 / c4 as f64;
+        assert!((1.8..4.0).contains(&speedup), "speedup = {speedup}");
+    }
+
+    #[test]
+    fn single_core_handles_all_sizes() {
+        let cp = coproc(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+        let p = bignum::gen_prime(64, &mut rng);
+        let x = BigUint::random_below(&mut rng, &p);
+        let y = BigUint::random_below(&mut rng, &p);
+        let got = cp.mont_mul(&x, &y, &p);
+        let w = cp.cost().word_bits;
+        let s = cp.cost().limbs(p.bit_len());
+        let r = BigUint::one().shl_bits(w * s) % &p;
+        assert_eq!((&got.value * &r) % &p, (&x * &y) % &p);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_is_rejected() {
+        let cp = coproc(2);
+        let _ = cp.mont_mul(
+            &BigUint::from(3u64),
+            &BigUint::from(5u64),
+            &BigUint::from(16u64),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        let _ = Coprocessor::new(CostModel::paper(), 0);
+    }
+}

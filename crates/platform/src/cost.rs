@@ -1,0 +1,96 @@
+//! The cycle-cost model of the platform.
+//!
+//! Table 1 of the paper fixes a handful of platform constants (interrupt
+//! handling 184 cycles, 74 MHz clock); the per-instruction costs below are
+//! the knobs of the simulator. [`CostModel::paper`] is calibrated so the
+//! simulated modular-operation latencies land close to Table 1; the
+//! benchmark harness also sweeps these knobs for the ablation studies.
+
+/// Per-instruction and per-event cycle costs of the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cycles for one multiply-accumulate (the FPGA's dedicated multiplier).
+    pub mac_cycles: u64,
+    /// Cycles for one ALU add/sub/move instruction.
+    pub alu_cycles: u64,
+    /// Cycles for one access to the single-port data memory.
+    pub mem_cycles: u64,
+    /// Cycles for transferring one word between cores (via the data memory).
+    pub transfer_cycles: u64,
+    /// Fixed per-modular-operation sequencing overhead inside the
+    /// coprocessor (instruction fetch/dispatch by the decoder).
+    pub dispatch_cycles: u64,
+    /// Cycles for one MicroBlaze register-A access plus interrupt handling
+    /// (paper: 184).
+    pub interrupt_cycles: u64,
+    /// Cycles for the MicroBlaze to issue one instruction to register A
+    /// without waiting for an interrupt (Type-B composite dispatch).
+    pub issue_cycles: u64,
+    /// Clock frequency in MHz (paper: 74 MHz on the XC2VP30).
+    pub clock_mhz: f64,
+    /// Datapath word width in bits (the radix `2^w` of Algorithm 1).
+    pub word_bits: usize,
+}
+
+impl CostModel {
+    /// The calibration used to reproduce Tables 1–3.
+    pub fn paper() -> Self {
+        CostModel {
+            mac_cycles: 1,
+            alu_cycles: 1,
+            mem_cycles: 1,
+            transfer_cycles: 2,
+            dispatch_cycles: 6,
+            interrupt_cycles: 184,
+            issue_cycles: 10,
+            clock_mhz: 74.0,
+            word_bits: 16,
+        }
+    }
+
+    /// Number of limbs `s = ceil(bits / w)` an operand of `bits` bits
+    /// occupies on this datapath.
+    pub fn limbs(&self, bits: usize) -> usize {
+        bits.div_ceil(self.word_bits)
+    }
+
+    /// Converts a cycle count to milliseconds at the configured clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1e3)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = CostModel::paper();
+        assert_eq!(c.interrupt_cycles, 184);
+        assert_eq!(c.clock_mhz, 74.0);
+        assert_eq!(c, CostModel::default());
+    }
+
+    #[test]
+    fn limb_counts() {
+        let c = CostModel::paper();
+        assert_eq!(c.limbs(170), 11);
+        assert_eq!(c.limbs(160), 10);
+        assert_eq!(c.limbs(1024), 64);
+        assert_eq!(c.limbs(1), 1);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let c = CostModel::paper();
+        // 74 000 cycles at 74 MHz = 1 ms.
+        assert!((c.cycles_to_ms(74_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! The Type-A / Type-B control hierarchies (Figs. 3 and 4).
+//!
+//! A composite operation (an `Fp6` multiplication, an ECC point addition or
+//! doubling) is a *sequence* of modular multiplications, additions and
+//! subtractions over operands held in the coprocessor data memory. The two
+//! hierarchies differ only in who walks that sequence:
+//!
+//! * **Type-A** — the MicroBlaze issues every MM/MA/MS through register A
+//!   and services one interrupt per modular operation (184 cycles each), so
+//!   the communication overhead dominates;
+//! * **Type-B** — the sequence is stored in the coprocessor's second
+//!   instruction ROM (InsRom1); the MicroBlaze issues a single composite
+//!   instruction and services a single interrupt.
+
+use bignum::BigUint;
+
+use crate::coprocessor::Coprocessor;
+use crate::report::ExecutionReport;
+
+/// Control-hierarchy variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hierarchy {
+    /// MicroBlaze dispatches every modular operation (Fig. 3).
+    TypeA,
+    /// The coprocessor stores level-2 sequences in InsRom1 (Fig. 4).
+    TypeB,
+}
+
+/// One step of a level-2 sequence, addressing operands by data-memory slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequenceOp {
+    /// `slot[dst] ← slot[a] · slot[b] · R^{-1} mod p` (Montgomery product).
+    MontMul {
+        /// Destination slot.
+        dst: usize,
+        /// First operand slot.
+        a: usize,
+        /// Second operand slot.
+        b: usize,
+    },
+    /// `slot[dst] ← (slot[a] + slot[b]) mod p`.
+    ModAdd {
+        /// Destination slot.
+        dst: usize,
+        /// First operand slot.
+        a: usize,
+        /// Second operand slot.
+        b: usize,
+    },
+    /// `slot[dst] ← (slot[a] - slot[b]) mod p`.
+    ModSub {
+        /// Destination slot.
+        dst: usize,
+        /// Minuend slot.
+        a: usize,
+        /// Subtrahend slot.
+        b: usize,
+    },
+    /// `slot[dst] ← slot[src]` (data-memory copy, handled by the decoder).
+    Copy {
+        /// Destination slot.
+        dst: usize,
+        /// Source slot.
+        src: usize,
+    },
+}
+
+/// Accounting for one executed sequence.
+pub type SequenceReport = ExecutionReport;
+
+/// Executes level-2 sequences on the coprocessor under a given hierarchy.
+#[derive(Debug, Clone)]
+pub struct SequenceEngine {
+    hierarchy: Hierarchy,
+}
+
+impl SequenceEngine {
+    /// Creates an engine for the given hierarchy.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        SequenceEngine { hierarchy }
+    }
+
+    /// The hierarchy this engine models.
+    pub fn hierarchy(&self) -> Hierarchy {
+        self.hierarchy
+    }
+
+    /// Executes `ops` against `slots` (values reduced modulo `modulus`),
+    /// returning the cycle/operation accounting.
+    ///
+    /// Montgomery products operate on whatever representation the slots are
+    /// in; callers that need plain-domain results are responsible for the
+    /// domain conversions (see `Platform`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot index is out of range.
+    pub fn run(
+        &self,
+        coprocessor: &Coprocessor,
+        modulus: &BigUint,
+        slots: &mut [BigUint],
+        ops: &[SequenceOp],
+    ) -> SequenceReport {
+        let mut report = ExecutionReport::default();
+        for op in ops {
+            match *op {
+                SequenceOp::MontMul { dst, a, b } => {
+                    let r = coprocessor.mont_mul(&slots[a], &slots[b], modulus);
+                    slots[dst] = r.value;
+                    report.cycles += r.cycles;
+                    report.modmuls += 1;
+                }
+                SequenceOp::ModAdd { dst, a, b } => {
+                    let r = coprocessor.mod_add(&slots[a], &slots[b], modulus);
+                    slots[dst] = r.value;
+                    report.cycles += r.cycles;
+                    report.modadds += 1;
+                }
+                SequenceOp::ModSub { dst, a, b } => {
+                    let r = coprocessor.mod_sub(&slots[a], &slots[b], modulus);
+                    slots[dst] = r.value;
+                    report.cycles += r.cycles;
+                    report.modsubs += 1;
+                }
+                SequenceOp::Copy { dst, src } => {
+                    slots[dst] = slots[src].clone();
+                    // Two memory accesses through the decoder.
+                    report.cycles += 2 * coprocessor.cost().mem_cycles;
+                }
+            }
+            // Type-A: every modular operation is issued through register A
+            // and completes with an interrupt back to the MicroBlaze.
+            if self.hierarchy == Hierarchy::TypeA && !matches!(op, SequenceOp::Copy { .. }) {
+                report.cycles += coprocessor.cost().interrupt_cycles;
+                report.interrupts += 1;
+                report.register_accesses += 1;
+            }
+        }
+        // Type-B: a single composite instruction and a single interrupt per
+        // sequence.
+        if self.hierarchy == Hierarchy::TypeB {
+            report.cycles +=
+                coprocessor.cost().interrupt_cycles + coprocessor.cost().issue_cycles;
+            report.interrupts += 1;
+            report.register_accesses += 1;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn setup() -> (Coprocessor, BigUint, Vec<BigUint>) {
+        let cp = Coprocessor::new(CostModel::paper(), 4);
+        let p = BigUint::from(1_000_000_007u64);
+        let slots = vec![
+            BigUint::from(5u64),
+            BigUint::from(7u64),
+            BigUint::zero(),
+            BigUint::zero(),
+        ];
+        (cp, p, slots)
+    }
+
+    #[test]
+    fn sequence_ops_compute_modular_arithmetic() {
+        let (cp, p, mut slots) = setup();
+        let engine = SequenceEngine::new(Hierarchy::TypeB);
+        let ops = [
+            SequenceOp::ModAdd { dst: 2, a: 0, b: 1 },
+            SequenceOp::ModSub { dst: 3, a: 0, b: 1 },
+            SequenceOp::Copy { dst: 0, src: 2 },
+        ];
+        let report = engine.run(&cp, &p, &mut slots, &ops);
+        assert_eq!(slots[2].to_u64(), Some(12));
+        assert_eq!(slots[3], bignum::mod_sub(&BigUint::from(5u64), &BigUint::from(7u64), &p));
+        assert_eq!(slots[0].to_u64(), Some(12));
+        assert_eq!(report.modadds, 1);
+        assert_eq!(report.modsubs, 1);
+        assert_eq!(report.interrupts, 1, "Type-B raises a single interrupt");
+    }
+
+    #[test]
+    fn type_a_pays_one_interrupt_per_op() {
+        let (cp, p, mut slots) = setup();
+        let ops = [
+            SequenceOp::ModAdd { dst: 2, a: 0, b: 1 },
+            SequenceOp::ModAdd { dst: 3, a: 0, b: 1 },
+            SequenceOp::ModAdd { dst: 3, a: 0, b: 1 },
+        ];
+        let a = SequenceEngine::new(Hierarchy::TypeA).run(&cp, &p, &mut slots.clone(), &ops);
+        let b = SequenceEngine::new(Hierarchy::TypeB).run(&cp, &p, &mut slots, &ops);
+        assert_eq!(a.interrupts, 3);
+        assert_eq!(b.interrupts, 1);
+        assert!(a.cycles > b.cycles);
+        let overhead_a = 3 * cp.cost().interrupt_cycles;
+        let overhead_b = cp.cost().interrupt_cycles + cp.cost().issue_cycles;
+        assert_eq!(a.cycles - overhead_a, b.cycles - overhead_b);
+    }
+
+    #[test]
+    fn montgomery_step_keeps_values_reduced() {
+        let (cp, p, mut slots) = setup();
+        let engine = SequenceEngine::new(Hierarchy::TypeB);
+        let ops = [SequenceOp::MontMul { dst: 2, a: 0, b: 1 }];
+        let report = engine.run(&cp, &p, &mut slots, &ops);
+        assert!(slots[2] < p);
+        assert_eq!(report.modmuls, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! The coprocessor core ISA.
+//!
+//! Each embedded core is "a highly simplified load/store CPU" supporting
+//! seven instructions and no branches (Section 3.1). The decoder fetches
+//! composite instructions from register A and dispatches straight-line
+//! microinstruction sequences to the cores; control flow (loops, the final
+//! conditional subtraction of Algorithm 1) lives in the decoder, not in the
+//! cores.
+//!
+//! The seven instructions:
+//!
+//! | instruction | effect |
+//! |---|---|
+//! | `Load`    | `r[d] ← mem[addr]` (through the single data port) |
+//! | `Store`   | `mem[addr] ← r[s]` |
+//! | `LoadImm` | `r[d] ← imm` |
+//! | `MulAcc`  | `acc ← acc + r[a]·r[b]` (the FPGA multiplier) |
+//! | `AccAdd`  | `acc ← acc + r[a]` |
+//! | `AccOut`  | `r[d] ← acc mod 2^w; acc ← acc >> w` |
+//! | `SubB`    | `r[d] ← r[a] - r[b] - borrow`, updating the borrow flag |
+
+use crate::cost::CostModel;
+
+/// Number of general-purpose registers per core.
+pub const NUM_REGS: usize = 16;
+
+/// One microinstruction of the 7-instruction core ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `r[dst] ← mem[addr]`.
+    Load {
+        /// Destination register.
+        dst: u8,
+        /// Data-memory word address.
+        addr: u16,
+    },
+    /// `mem[addr] ← r[src]`.
+    Store {
+        /// Source register.
+        src: u8,
+        /// Data-memory word address.
+        addr: u16,
+    },
+    /// `r[dst] ← imm`.
+    LoadImm {
+        /// Destination register.
+        dst: u8,
+        /// Immediate value (one datapath word).
+        imm: u64,
+    },
+    /// `acc ← acc + r[a]·r[b]`.
+    MulAcc {
+        /// First factor register.
+        a: u8,
+        /// Second factor register.
+        b: u8,
+    },
+    /// `acc ← acc + r[a]`.
+    AccAdd {
+        /// Addend register.
+        a: u8,
+    },
+    /// `r[dst] ← acc mod 2^w; acc ← acc >> w`.
+    AccOut {
+        /// Destination register.
+        dst: u8,
+    },
+    /// `r[dst] ← r[a] - r[b] - borrow`, updating the borrow flag.
+    SubB {
+        /// Destination register.
+        dst: u8,
+        /// Minuend register.
+        a: u8,
+        /// Subtrahend register.
+        b: u8,
+    },
+}
+
+impl MicroOp {
+    /// Returns `true` if this instruction uses the (single) data-memory port.
+    pub fn uses_memory(&self) -> bool {
+        matches!(self, MicroOp::Load { .. } | MicroOp::Store { .. })
+    }
+
+    /// Cycle cost under a [`CostModel`].
+    pub fn cycles(&self, cost: &CostModel) -> u64 {
+        match self {
+            MicroOp::Load { .. } | MicroOp::Store { .. } => cost.mem_cycles,
+            MicroOp::MulAcc { .. } => cost.mac_cycles,
+            _ => cost.alu_cycles,
+        }
+    }
+
+    /// Assembly-style rendering.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            MicroOp::Load { dst, addr } => format!("ld   r{dst}, [{addr}]"),
+            MicroOp::Store { src, addr } => format!("st   r{src}, [{addr}]"),
+            MicroOp::LoadImm { dst, imm } => format!("ldi  r{dst}, #{imm}"),
+            MicroOp::MulAcc { a, b } => format!("mac  r{a}, r{b}"),
+            MicroOp::AccAdd { a } => format!("aca  r{a}"),
+            MicroOp::AccOut { dst } => format!("aco  r{dst}"),
+            MicroOp::SubB { dst, a, b } => format!("sbb  r{dst}, r{a}, r{b}"),
+        }
+    }
+}
+
+/// A straight-line microinstruction sequence (the contents of an InsRom
+/// entry).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    ops: Vec<MicroOp>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program { ops: Vec::new() }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, op: MicroOp) {
+        self.ops.push(op);
+    }
+
+    /// The instructions in order.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total cycle cost (without memory-port contention).
+    pub fn cycles(&self, cost: &CostModel) -> u64 {
+        self.ops.iter().map(|op| op.cycles(cost)).sum()
+    }
+
+    /// Number of instructions that use the data-memory port.
+    pub fn memory_accesses(&self) -> u64 {
+        self.ops.iter().filter(|op| op.uses_memory()).count() as u64
+    }
+
+    /// Assembly-style listing of the whole program.
+    pub fn listing(&self) -> String {
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| format!("{i:4}: {}", op.mnemonic()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The architectural state of one embedded core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// General-purpose registers (each holds one datapath word).
+    regs: [u64; NUM_REGS],
+    /// The wide multiply-accumulate register.
+    acc: u128,
+    /// Borrow flag for multi-word subtraction.
+    borrow: bool,
+    /// Datapath word width in bits.
+    word_bits: usize,
+}
+
+impl Core {
+    /// Creates a core with cleared state.
+    pub fn new(word_bits: usize) -> Self {
+        assert!(word_bits > 0 && word_bits <= 32, "word width must be 1..=32");
+        Core {
+            regs: [0; NUM_REGS],
+            acc: 0,
+            borrow: false,
+            word_bits,
+        }
+    }
+
+    /// Word mask `2^w - 1`.
+    fn mask(&self) -> u64 {
+        (1u64 << self.word_bits) - 1
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, idx: u8) -> u64 {
+        self.regs[idx as usize]
+    }
+
+    /// The current borrow flag.
+    pub fn borrow_flag(&self) -> bool {
+        self.borrow
+    }
+
+    /// Resets the accumulator and borrow flag (done by the decoder before a
+    /// new microinstruction sequence).
+    pub fn clear_acc(&mut self) {
+        self.acc = 0;
+        self.borrow = false;
+    }
+
+    /// Executes a whole program against a shared data memory, returning the
+    /// number of executed instructions.
+    pub fn execute(&mut self, program: &Program, memory: &mut [u64]) -> u64 {
+        for op in program.ops() {
+            self.step(*op, memory);
+        }
+        program.len() as u64
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a memory address is out of range for the provided memory —
+    /// microcode generation bugs, not user errors.
+    pub fn step(&mut self, op: MicroOp, memory: &mut [u64]) {
+        let mask = self.mask();
+        match op {
+            MicroOp::Load { dst, addr } => {
+                self.regs[dst as usize] = memory[addr as usize] & mask;
+            }
+            MicroOp::Store { src, addr } => {
+                memory[addr as usize] = self.regs[src as usize] & mask;
+            }
+            MicroOp::LoadImm { dst, imm } => {
+                self.regs[dst as usize] = imm & mask;
+            }
+            MicroOp::MulAcc { a, b } => {
+                self.acc += (self.regs[a as usize] as u128) * (self.regs[b as usize] as u128);
+            }
+            MicroOp::AccAdd { a } => {
+                self.acc += self.regs[a as usize] as u128;
+            }
+            MicroOp::AccOut { dst } => {
+                self.regs[dst as usize] = (self.acc as u64) & mask;
+                self.acc >>= self.word_bits;
+            }
+            MicroOp::SubB { dst, a, b } => {
+                let lhs = self.regs[a as usize] as i128;
+                let rhs = self.regs[b as usize] as i128 + self.borrow as i128;
+                let diff = lhs - rhs;
+                if diff < 0 {
+                    self.regs[dst as usize] = (diff + (1i128 << self.word_bits)) as u64 & mask;
+                    self.borrow = true;
+                } else {
+                    self.regs[dst as usize] = diff as u64 & mask;
+                    self.borrow = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_costs_and_memory_flags() {
+        let cost = CostModel::paper();
+        assert!(MicroOp::Load { dst: 0, addr: 0 }.uses_memory());
+        assert!(MicroOp::Store { src: 0, addr: 0 }.uses_memory());
+        assert!(!MicroOp::MulAcc { a: 0, b: 1 }.uses_memory());
+        assert_eq!(MicroOp::MulAcc { a: 0, b: 1 }.cycles(&cost), cost.mac_cycles);
+        assert_eq!(MicroOp::AccOut { dst: 0 }.cycles(&cost), cost.alu_cycles);
+    }
+
+    #[test]
+    fn program_accounting() {
+        let mut p = Program::new();
+        assert!(p.is_empty());
+        p.push(MicroOp::Load { dst: 0, addr: 0 });
+        p.push(MicroOp::MulAcc { a: 0, b: 0 });
+        p.push(MicroOp::AccOut { dst: 1 });
+        p.push(MicroOp::Store { src: 1, addr: 1 });
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.memory_accesses(), 2);
+        let cost = CostModel::paper();
+        assert_eq!(p.cycles(&cost), 2 * cost.mem_cycles + cost.mac_cycles + cost.alu_cycles);
+        assert!(p.listing().contains("mac"));
+    }
+
+    #[test]
+    fn core_executes_a_square() {
+        // Compute 7² = 49 through the MAC path and store it.
+        let mut core = Core::new(16);
+        let mut mem = vec![0u64; 4];
+        let mut p = Program::new();
+        p.push(MicroOp::LoadImm { dst: 0, imm: 7 });
+        p.push(MicroOp::MulAcc { a: 0, b: 0 });
+        p.push(MicroOp::AccOut { dst: 1 });
+        p.push(MicroOp::Store { src: 1, addr: 2 });
+        core.execute(&p, &mut mem);
+        assert_eq!(mem[2], 49);
+    }
+
+    #[test]
+    fn accumulator_shifts_words_out() {
+        // 0xFFFF * 0xFFFF = 0xFFFE0001 -> low word 0x0001, next word 0xFFFE.
+        let mut core = Core::new(16);
+        let mut mem = vec![0u64; 1];
+        core.step(MicroOp::LoadImm { dst: 0, imm: 0xFFFF }, &mut mem);
+        core.step(MicroOp::MulAcc { a: 0, b: 0 }, &mut mem);
+        core.step(MicroOp::AccOut { dst: 1 }, &mut mem);
+        core.step(MicroOp::AccOut { dst: 2 }, &mut mem);
+        assert_eq!(core.reg(1), 0x0001);
+        assert_eq!(core.reg(2), 0xFFFE);
+    }
+
+    #[test]
+    fn subtraction_with_borrow_chains() {
+        // Compute the two-word subtraction 0x0001_0000 - 0x0000_0001.
+        let mut core = Core::new(16);
+        let mut mem = vec![0u64; 1];
+        core.step(MicroOp::LoadImm { dst: 0, imm: 0x0000 }, &mut mem); // low(a)
+        core.step(MicroOp::LoadImm { dst: 1, imm: 0x0001 }, &mut mem); // high(a)
+        core.step(MicroOp::LoadImm { dst: 2, imm: 0x0001 }, &mut mem); // low(b)
+        core.step(MicroOp::LoadImm { dst: 3, imm: 0x0000 }, &mut mem); // high(b)
+        core.step(MicroOp::SubB { dst: 4, a: 0, b: 2 }, &mut mem);
+        core.step(MicroOp::SubB { dst: 5, a: 1, b: 3 }, &mut mem);
+        assert_eq!(core.reg(4), 0xFFFF);
+        assert_eq!(core.reg(5), 0x0000);
+        assert!(!core.borrow_flag());
+    }
+
+    #[test]
+    fn word_width_is_validated() {
+        let core = Core::new(32);
+        assert_eq!(core.mask(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "word width")]
+    fn oversized_word_width_panics() {
+        let _ = Core::new(64);
+    }
+}

@@ -1,0 +1,52 @@
+//! Simulator of the paper's MicroBlaze + multicore coprocessor platform.
+//!
+//! The DATE 2008 evaluation runs on a Xilinx Virtex-II Pro: a MicroBlaze
+//! controller talks to a programmable multicore coprocessor through
+//! memory-mapped registers and an interrupt line (Fig. 2), and the torus /
+//! ECC / RSA operations are decomposed into modular multiplications (MM)
+//! and modular additions/subtractions (MA/MS) executed by the cores. We
+//! cannot synthesise the FPGA here, so this crate provides an
+//! instruction-level, cycle-counting model of the same structure (see
+//! DESIGN.md for the substitution argument):
+//!
+//! * [`isa`] — the 7-instruction load/store core ISA;
+//! * [`Coprocessor`] — the cores, the single-port data memory and the
+//!   microcoded modular operations (multicore Montgomery multiplication
+//!   with the carry-local schedule of Fig. 5, single-core modular
+//!   addition/subtraction), all functionally verified against the host
+//!   `bignum` implementation;
+//! * [`Platform`] — the MicroBlaze-level view: Type-A and Type-B control
+//!   hierarchies (Figs. 3 and 4), interrupt/accounting overheads, and the
+//!   level-1 drivers for torus exponentiation, ECC point/scalar operations
+//!   and RSA exponentiation that regenerate Tables 1–3.
+//!
+//! # Example
+//!
+//! ```
+//! use platform::{CostModel, Hierarchy, Platform};
+//!
+//! let platform = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+//! let report = platform.montgomery_multiplication_report(170);
+//! assert!(report.cycles > 0);
+//! println!("170-bit MM: {} cycles", report.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coprocessor;
+mod cost;
+mod hierarchy;
+pub mod isa;
+mod platform;
+mod programs;
+mod report;
+
+pub use coprocessor::{Coprocessor, ModOpResult};
+pub use cost::CostModel;
+pub use hierarchy::{Hierarchy, SequenceOp, SequenceReport};
+pub use platform::Platform;
+pub use programs::{
+    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence,
+};
+pub use report::ExecutionReport;

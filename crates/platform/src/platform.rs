@@ -1,0 +1,455 @@
+//! The MicroBlaze-level view of the platform: full public-key operations.
+
+use bignum::{mod_inv, mod_mul, BigUint};
+use ceilidh::{CeilidhParams, TorusElement};
+use ecc::{AffinePoint, Curve, JacobianPoint};
+use field::{Fp6Context, Fp6Element};
+
+use crate::coprocessor::Coprocessor;
+use crate::cost::CostModel;
+use crate::hierarchy::{Hierarchy, SequenceEngine, SequenceOp};
+use crate::programs::{ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, ECC_SLOTS, FP6_MUL_SLOTS};
+use crate::report::ExecutionReport;
+
+/// The complete platform: MicroBlaze controller + multicore coprocessor.
+///
+/// All drivers execute *functionally* — results are computed through the
+/// simulated coprocessor and can be compared with the host `ceilidh`, `ecc`
+/// and `rsa` crates — while cycles are accumulated according to the cost
+/// model and the selected control hierarchy.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    coprocessor: Coprocessor,
+    engine: SequenceEngine,
+}
+
+impl Platform {
+    /// Creates a platform with `num_cores` coprocessor cores under the given
+    /// control hierarchy.
+    pub fn new(cost: CostModel, num_cores: usize, hierarchy: Hierarchy) -> Self {
+        Platform {
+            coprocessor: Coprocessor::new(cost, num_cores),
+            engine: SequenceEngine::new(hierarchy),
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        self.coprocessor.cost()
+    }
+
+    /// The underlying coprocessor.
+    pub fn coprocessor(&self) -> &Coprocessor {
+        &self.coprocessor
+    }
+
+    /// The control hierarchy in use.
+    pub fn hierarchy(&self) -> Hierarchy {
+        self.engine.hierarchy()
+    }
+
+    /// Cycles of one MicroBlaze register access + interrupt (Table 1 row 1).
+    pub fn interrupt_cycles(&self) -> u64 {
+        self.cost().interrupt_cycles
+    }
+
+    // ----------------------------------------------------------------- //
+    // Table 1: modular-operation latencies.                              //
+    // ----------------------------------------------------------------- //
+
+    /// Cycles of one Montgomery modular multiplication at `bits` operand
+    /// length.
+    pub fn montgomery_multiplication_report(&self, bits: usize) -> ExecutionReport {
+        ExecutionReport {
+            cycles: self.coprocessor.mont_mul_cycles(bits),
+            modmuls: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Cycles of one modular addition at `bits` operand length.
+    pub fn modular_addition_report(&self, bits: usize) -> ExecutionReport {
+        ExecutionReport {
+            cycles: self.coprocessor.mod_add_cycles(bits),
+            modadds: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Cycles of one modular subtraction at `bits` operand length.
+    pub fn modular_subtraction_report(&self, bits: usize) -> ExecutionReport {
+        ExecutionReport {
+            cycles: self.coprocessor.mod_sub_cycles(bits),
+            modsubs: 1,
+            ..Default::default()
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Domain conversions (operands are loaded into the coprocessor in    //
+    // Montgomery representation, as on the real platform).               //
+    // ----------------------------------------------------------------- //
+
+    /// `R = 2^{w·s} mod p` for this platform's datapath.
+    fn platform_r(&self, modulus: &BigUint) -> BigUint {
+        let bits = self.cost().word_bits * self.cost().limbs(modulus.bit_len());
+        BigUint::one().shl_bits(bits) % modulus
+    }
+
+    /// Converts a residue into the platform's Montgomery domain.
+    fn to_domain(&self, v: &BigUint, modulus: &BigUint) -> BigUint {
+        mod_mul(v, &self.platform_r(modulus), modulus)
+    }
+
+    /// Converts a platform-domain value back to a plain residue.
+    fn from_domain(&self, v: &BigUint, modulus: &BigUint) -> BigUint {
+        let r_inv = mod_inv(&self.platform_r(modulus), modulus)
+            .expect("R is invertible for odd moduli");
+        mod_mul(v, &r_inv, modulus)
+    }
+
+    // ----------------------------------------------------------------- //
+    // Table 2: composite (level-2) operations.                           //
+    // ----------------------------------------------------------------- //
+
+    /// Executes one `Fp6` (torus `T6`) multiplication on the platform,
+    /// returning the product and the cycle accounting.
+    pub fn run_fp6_multiplication(
+        &self,
+        fp6: &Fp6Context,
+        a: &Fp6Element,
+        b: &Fp6Element,
+    ) -> (Fp6Element, ExecutionReport) {
+        let modulus = fp6.fp().modulus().clone();
+        let mut slots = vec![BigUint::zero(); FP6_MUL_SLOTS];
+        for i in 0..6 {
+            slots[i] = self.to_domain(&fp6.fp().to_biguint(&a.coeffs()[i]), &modulus);
+            slots[6 + i] = self.to_domain(&fp6.fp().to_biguint(&b.coeffs()[i]), &modulus);
+        }
+        let ops = fp6_mul_sequence();
+        let report = self.engine.run(&self.coprocessor, &modulus, &mut slots, &ops);
+        let coeffs: [field::FpElement; 6] = std::array::from_fn(|i| {
+            fp6.fp()
+                .from_biguint(&self.from_domain(&slots[12 + i], &modulus))
+        });
+        (fp6.from_coeffs(coeffs), report)
+    }
+
+    /// Cycle accounting of one `Fp6` multiplication at `bits` operand length
+    /// (Table 2, "T6 Mult." rows) without needing real field elements.
+    pub fn fp6_multiplication_report(&self, bits: usize) -> ExecutionReport {
+        self.composite_report(bits, &fp6_mul_sequence(), FP6_MUL_SLOTS)
+    }
+
+    /// Cycle accounting of one ECC point addition at `bits` operand length.
+    pub fn ecc_point_addition_report(&self, bits: usize) -> ExecutionReport {
+        self.composite_report(bits, &ecc_pa_sequence(), ECC_SLOTS)
+    }
+
+    /// Cycle accounting of one ECC point doubling at `bits` operand length.
+    pub fn ecc_point_doubling_report(&self, bits: usize) -> ExecutionReport {
+        self.composite_report(bits, &ecc_pd_sequence(), ECC_SLOTS)
+    }
+
+    /// Runs a sequence on dummy (but valid) operands of the requested size
+    /// purely for cycle accounting.
+    fn composite_report(&self, bits: usize, ops: &[SequenceOp], nslots: usize) -> ExecutionReport {
+        let modulus = probe_modulus(bits);
+        let mut slots: Vec<BigUint> = (0..nslots)
+            .map(|i| BigUint::from((i % 251 + 1) as u64))
+            .collect();
+        self.engine.run(&self.coprocessor, &modulus, &mut slots, ops)
+    }
+
+    /// Executes one Jacobian point addition on the platform.
+    pub fn run_ecc_point_addition(
+        &self,
+        curve: &Curve,
+        p: &JacobianPoint,
+        q: &JacobianPoint,
+    ) -> (JacobianPoint, ExecutionReport) {
+        let modulus = curve.fp().modulus().clone();
+        let mut slots = vec![BigUint::zero(); ECC_SLOTS];
+        for (i, c) in [&p.x, &p.y, &p.z, &q.x, &q.y, &q.z].iter().enumerate() {
+            slots[i] = self.to_domain(&curve.fp().to_biguint(c), &modulus);
+        }
+        slots[9] = self.to_domain(&curve.fp().to_biguint(curve.a()), &modulus);
+        let report = self
+            .engine
+            .run(&self.coprocessor, &modulus, &mut slots, &ecc_pa_sequence());
+        let out = JacobianPoint {
+            x: curve.fp().from_biguint(&self.from_domain(&slots[6], &modulus)),
+            y: curve.fp().from_biguint(&self.from_domain(&slots[7], &modulus)),
+            z: curve.fp().from_biguint(&self.from_domain(&slots[8], &modulus)),
+        };
+        (out, report)
+    }
+
+    /// Executes one Jacobian point doubling on the platform.
+    pub fn run_ecc_point_doubling(
+        &self,
+        curve: &Curve,
+        p: &JacobianPoint,
+    ) -> (JacobianPoint, ExecutionReport) {
+        let modulus = curve.fp().modulus().clone();
+        let mut slots = vec![BigUint::zero(); ECC_SLOTS];
+        for (i, c) in [&p.x, &p.y, &p.z].iter().enumerate() {
+            slots[i] = self.to_domain(&curve.fp().to_biguint(c), &modulus);
+        }
+        slots[6] = self.to_domain(&curve.fp().to_biguint(curve.a()), &modulus);
+        let report = self
+            .engine
+            .run(&self.coprocessor, &modulus, &mut slots, &ecc_pd_sequence());
+        let out = JacobianPoint {
+            x: curve.fp().from_biguint(&self.from_domain(&slots[3], &modulus)),
+            y: curve.fp().from_biguint(&self.from_domain(&slots[4], &modulus)),
+            z: curve.fp().from_biguint(&self.from_domain(&slots[5], &modulus)),
+        };
+        (out, report)
+    }
+
+    // ----------------------------------------------------------------- //
+    // Table 3: full public-key operations.                               //
+    // ----------------------------------------------------------------- //
+
+    /// Executes a full torus `T6` exponentiation (square-and-multiply over
+    /// representation F1) on the platform.
+    pub fn torus_exponentiation(
+        &self,
+        params: &CeilidhParams,
+        base: &TorusElement,
+        exponent: &BigUint,
+    ) -> (TorusElement, ExecutionReport) {
+        let fp6 = params.fp6();
+        let mut acc = fp6.one();
+        let mut report = ExecutionReport::default();
+        for i in (0..exponent.bit_len()).rev() {
+            let (sq, r) = self.run_fp6_multiplication(fp6, &acc, &acc);
+            acc = sq;
+            report = report.merge(&r);
+            if exponent.bit(i) {
+                let (prod, r) = self.run_fp6_multiplication(fp6, &acc, base.as_fp6());
+                acc = prod;
+                report = report.merge(&r);
+            }
+        }
+        (TorusElement::from_fp6_unchecked(acc), report)
+    }
+
+    /// Executes a full ECC scalar multiplication (Jacobian double-and-add)
+    /// on the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is the point at infinity (the paper's sequences
+    /// assume a finite base point).
+    pub fn ecc_scalar_multiplication(
+        &self,
+        curve: &Curve,
+        point: &AffinePoint,
+        k: &BigUint,
+    ) -> (AffinePoint, ExecutionReport) {
+        assert!(
+            !point.is_infinity(),
+            "the platform PA/PD sequences need a finite base point"
+        );
+        let mut report = ExecutionReport::default();
+        let jp = curve.to_jacobian(point);
+        let mut acc: Option<JacobianPoint> = None;
+        for i in (0..k.bit_len()).rev() {
+            if let Some(cur) = acc.take() {
+                let (doubled, r) = self.run_ecc_point_doubling(curve, &cur);
+                report = report.merge(&r);
+                acc = Some(doubled);
+            }
+            if k.bit(i) {
+                acc = Some(match acc.take() {
+                    None => jp.clone(),
+                    Some(cur) => {
+                        let (sum, r) = self.run_ecc_point_addition(curve, &cur, &jp);
+                        report = report.merge(&r);
+                        sum
+                    }
+                });
+            }
+        }
+        let result = match acc {
+            None => AffinePoint::Infinity,
+            Some(j) => curve.to_affine(&j),
+        };
+        (result, report)
+    }
+
+    /// Executes a full RSA modular exponentiation (`base^exponent mod n`) on
+    /// the platform. The exponentiation ladder is driven by the MicroBlaze,
+    /// so every Montgomery multiplication pays the register-access +
+    /// interrupt overhead, as in the paper's RSA implementation.
+    pub fn rsa_exponentiation(
+        &self,
+        modulus: &BigUint,
+        base: &BigUint,
+        exponent: &BigUint,
+    ) -> (BigUint, ExecutionReport) {
+        let mut report = ExecutionReport::default();
+        let r_mod = self.platform_r(modulus);
+        let mut acc = r_mod.clone(); // 1 in the platform domain
+        let base_dom = self.to_domain(&(base % modulus), modulus);
+        let mm = |a: &BigUint, b: &BigUint, report: &mut ExecutionReport| {
+            let r = self.coprocessor.mont_mul(a, b, modulus);
+            report.cycles += r.cycles + self.cost().interrupt_cycles;
+            report.modmuls += 1;
+            report.interrupts += 1;
+            report.register_accesses += 1;
+            r.value
+        };
+        for i in (0..exponent.bit_len()).rev() {
+            acc = mm(&acc.clone(), &acc, &mut report);
+            if exponent.bit(i) {
+                acc = mm(&acc.clone(), &base_dom, &mut report);
+            }
+        }
+        (self.from_domain(&acc, modulus), report)
+    }
+}
+
+/// Deterministic odd modulus used for cycle-only probes.
+fn probe_modulus(bits: usize) -> BigUint {
+    let mut m = BigUint::one().shl_bits(bits - 1);
+    m = &m + &BigUint::one().shl_bits(bits / 2);
+    &m + &BigUint::from(13u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bignum::MontgomeryParams;
+    use ecc::ScalarMulAlgorithm;
+    use rand::SeedableRng;
+
+    fn platform(hierarchy: Hierarchy) -> Platform {
+        Platform::new(CostModel::paper(), 4, hierarchy)
+    }
+
+    #[test]
+    fn fp6_multiplication_matches_field_crate() {
+        let params = CeilidhParams::toy().unwrap();
+        let fp6 = params.fp6();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(201);
+        let plat = platform(Hierarchy::TypeB);
+        for _ in 0..5 {
+            let a = fp6.random(&mut rng);
+            let b = fp6.random(&mut rng);
+            let (got, report) = plat.run_fp6_multiplication(fp6, &a, &b);
+            assert_eq!(got, fp6.mul(&a, &b));
+            assert_eq!(report.modmuls, 18);
+        }
+    }
+
+    #[test]
+    fn ecc_point_operations_match_ecc_crate() {
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(202);
+        let plat = platform(Hierarchy::TypeB);
+        for _ in 0..3 {
+            let p = curve.random_point(&mut rng);
+            let q = curve.random_point(&mut rng);
+            let jp = curve.to_jacobian(&p);
+            let jq = curve.to_jacobian(&q);
+            let (sum, _) = plat.run_ecc_point_addition(&curve, &jp, &jq);
+            assert_eq!(curve.to_affine(&sum), curve.add(&p, &q));
+            let (dbl, _) = plat.run_ecc_point_doubling(&curve, &jp);
+            assert_eq!(curve.to_affine(&dbl), curve.double(&p));
+        }
+    }
+
+    #[test]
+    fn type_b_is_several_times_faster_for_composites() {
+        let a = platform(Hierarchy::TypeA);
+        let b = platform(Hierarchy::TypeB);
+        let t6_a = a.fp6_multiplication_report(170).cycles;
+        let t6_b = b.fp6_multiplication_report(170).cycles;
+        let ratio = t6_a as f64 / t6_b as f64;
+        assert!(
+            (1.8..6.0).contains(&ratio),
+            "paper: Type-A/Type-B ≈ 3.78 for the T6 mult, got {ratio}"
+        );
+        let pa_a = a.ecc_point_addition_report(160).cycles;
+        let pa_b = b.ecc_point_addition_report(160).cycles;
+        assert!(pa_a > pa_b);
+        let pd_b = b.ecc_point_doubling_report(160).cycles;
+        assert!(pd_b < pa_b, "PD must be cheaper than PA");
+    }
+
+    #[test]
+    fn torus_exponentiation_is_functionally_correct() {
+        let params = CeilidhParams::toy().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(203);
+        let plat = platform(Hierarchy::TypeB);
+        let (_, base) = params.random_subgroup_element(&mut rng);
+        let exp = BigUint::from(29u64);
+        let (got, report) = plat.torus_exponentiation(&params, &base, &exp);
+        assert_eq!(got, params.pow(&base, &exp));
+        assert!(report.modmuls >= 18);
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn ecc_scalar_multiplication_is_functionally_correct() {
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(204);
+        let plat = platform(Hierarchy::TypeB);
+        let p = curve.random_point(&mut rng);
+        let k = BigUint::from(1_234_567u64);
+        let (got, report) = plat.ecc_scalar_multiplication(&curve, &p, &k);
+        assert_eq!(
+            got,
+            ecc::scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd)
+        );
+        assert!(report.modmuls > 0);
+    }
+
+    #[test]
+    fn rsa_exponentiation_is_functionally_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(205);
+        let plat = platform(Hierarchy::TypeB);
+        let p = bignum::gen_prime(96, &mut rng);
+        let base = BigUint::random_below(&mut rng, &p);
+        let exp = BigUint::random_bits(&mut rng, 40);
+        let (got, report) = plat.rsa_exponentiation(&p, &base, &exp);
+        let reference = MontgomeryParams::new(&p).unwrap().mod_exp(&base, &exp);
+        assert_eq!(got, reference);
+        assert_eq!(report.interrupts, report.modmuls);
+    }
+
+    #[test]
+    fn table3_shape_holds() {
+        // Use short exponents so the test stays fast; the relative shape is
+        // what matters (CEILIDH beats RSA, ECC beats CEILIDH).
+        let plat = platform(Hierarchy::TypeB);
+        let t6_mult = plat.fp6_multiplication_report(170).cycles;
+        let pa = plat.ecc_point_addition_report(160).cycles;
+        let pd = plat.ecc_point_doubling_report(160).cycles;
+        let mm1024 = plat.montgomery_multiplication_report(1024).cycles
+            + plat.interrupt_cycles();
+
+        // Scale to full operations as in the paper: a 170-bit torus
+        // exponentiation ≈ 170 squarings + 85 multiplications, a 160-bit
+        // scalar multiplication ≈ 160 PD + 80 PA, a 1024-bit RSA
+        // exponentiation ≈ 1536 MM.
+        let torus = (170 + 85) * t6_mult;
+        let ecc = 160 * pd + 80 * pa;
+        let rsa = 1536 * mm1024;
+        assert!(ecc < torus, "ECC ({ecc}) must beat the torus ({torus})");
+        assert!(torus < rsa, "the torus ({torus}) must beat RSA ({rsa})");
+        let rsa_over_torus = rsa as f64 / torus as f64;
+        let torus_over_ecc = torus as f64 / ecc as f64;
+        assert!(
+            (2.0..10.0).contains(&rsa_over_torus),
+            "paper: RSA/torus ≈ 4.8, got {rsa_over_torus}"
+        );
+        assert!(
+            (1.2..4.0).contains(&torus_over_ecc),
+            "paper: torus/ECC ≈ 2.1, got {torus_over_ecc}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Execution reports produced by the platform drivers.
+
+use crate::cost::CostModel;
+
+/// Cycle and operation accounting for one complete public-key operation
+/// (torus exponentiation, ECC scalar multiplication, RSA exponentiation) or
+/// one composite level-2 operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutionReport {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// Montgomery modular multiplications executed.
+    pub modmuls: u64,
+    /// Modular additions executed.
+    pub modadds: u64,
+    /// Modular subtractions executed.
+    pub modsubs: u64,
+    /// Interrupts raised towards the MicroBlaze.
+    pub interrupts: u64,
+    /// Register-A (instruction register) accesses by the MicroBlaze.
+    pub register_accesses: u64,
+}
+
+impl ExecutionReport {
+    /// Latency in milliseconds at the cost model's clock frequency.
+    pub fn time_ms(&self, cost: &CostModel) -> f64 {
+        cost.cycles_to_ms(self.cycles)
+    }
+
+    /// Component-wise sum of two reports.
+    pub fn merge(&self, other: &ExecutionReport) -> ExecutionReport {
+        ExecutionReport {
+            cycles: self.cycles + other.cycles,
+            modmuls: self.modmuls + other.modmuls,
+            modadds: self.modadds + other.modadds,
+            modsubs: self.modsubs + other.modsubs,
+            interrupts: self.interrupts + other.interrupts,
+            register_accesses: self.register_accesses + other.register_accesses,
+        }
+    }
+
+    /// Scales every field by `n` (e.g. one composite operation repeated `n`
+    /// times in an exponentiation ladder).
+    pub fn repeat(&self, n: u64) -> ExecutionReport {
+        ExecutionReport {
+            cycles: self.cycles * n,
+            modmuls: self.modmuls * n,
+            modadds: self.modadds * n,
+            modsubs: self.modsubs * n,
+            interrupts: self.interrupts * n,
+            register_accesses: self.register_accesses * n,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cycles ({} MM, {} MA, {} MS, {} interrupts)",
+            self.cycles, self.modmuls, self.modadds, self.modsubs, self.interrupts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_repeat() {
+        let a = ExecutionReport {
+            cycles: 100,
+            modmuls: 2,
+            modadds: 3,
+            modsubs: 1,
+            interrupts: 1,
+            register_accesses: 1,
+        };
+        let b = a.repeat(3);
+        assert_eq!(b.cycles, 300);
+        assert_eq!(b.modmuls, 6);
+        let c = a.merge(&b);
+        assert_eq!(c.cycles, 400);
+        assert_eq!(c.modadds, 12);
+        assert!(c.to_string().contains("400 cycles"));
+    }
+
+    #[test]
+    fn time_conversion_uses_clock() {
+        let r = ExecutionReport {
+            cycles: 1_480_000,
+            ..Default::default()
+        };
+        let t = r.time_ms(&CostModel::paper());
+        assert!((t - 20.0).abs() < 1e-6);
+    }
+}

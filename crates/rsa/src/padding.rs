@@ -1,0 +1,161 @@
+//! PKCS#1 v1.5-style block formatting.
+//!
+//! The paper benchmarks the raw exponentiation; padding is provided so the
+//! examples can run a complete encrypt/decrypt/sign/verify flow. The format
+//! follows the classic `00 02 PS 00 M` (encryption) and `00 01 FF.. 00 M`
+//! (signature) block types.
+
+use rand::Rng;
+
+use crate::error::RsaError;
+
+/// Minimum number of random/fixed padding bytes (PKCS#1 requires 8).
+const MIN_PAD_LEN: usize = 8;
+
+/// Pads a message for encryption: `00 02 <nonzero random> 00 <message>`.
+///
+/// # Errors
+///
+/// Returns [`RsaError::MessageTooLong`] if the message cannot fit in
+/// `block_len` bytes with at least 8 bytes of padding.
+pub fn pad_encrypt<R: Rng + ?Sized>(
+    message: &[u8],
+    block_len: usize,
+    rng: &mut R,
+) -> Result<Vec<u8>, RsaError> {
+    let capacity = block_len.saturating_sub(3 + MIN_PAD_LEN);
+    if message.len() > capacity {
+        return Err(RsaError::MessageTooLong {
+            capacity,
+            got: message.len(),
+        });
+    }
+    let pad_len = block_len - 3 - message.len();
+    let mut block = Vec::with_capacity(block_len);
+    block.push(0x00);
+    block.push(0x02);
+    for _ in 0..pad_len {
+        // Padding bytes must be non-zero.
+        block.push(rng.gen_range(1..=255u8));
+    }
+    block.push(0x00);
+    block.extend_from_slice(message);
+    Ok(block)
+}
+
+/// Removes encryption padding.
+///
+/// # Errors
+///
+/// Returns [`RsaError::InvalidPadding`] if the block structure is malformed.
+pub fn unpad_encrypt(block: &[u8]) -> Result<Vec<u8>, RsaError> {
+    if block.len() < 3 + MIN_PAD_LEN || block[0] != 0x00 || block[1] != 0x02 {
+        return Err(RsaError::InvalidPadding);
+    }
+    let separator = block[2..]
+        .iter()
+        .position(|&b| b == 0x00)
+        .ok_or(RsaError::InvalidPadding)?;
+    if separator < MIN_PAD_LEN {
+        return Err(RsaError::InvalidPadding);
+    }
+    Ok(block[2 + separator + 1..].to_vec())
+}
+
+/// Pads a digest for signing: `00 01 FF..FF 00 <digest>`.
+///
+/// # Errors
+///
+/// Returns [`RsaError::MessageTooLong`] if the digest cannot fit.
+pub fn pad_sign(digest: &[u8], block_len: usize) -> Result<Vec<u8>, RsaError> {
+    let capacity = block_len.saturating_sub(3 + MIN_PAD_LEN);
+    if digest.len() > capacity {
+        return Err(RsaError::MessageTooLong {
+            capacity,
+            got: digest.len(),
+        });
+    }
+    let pad_len = block_len - 3 - digest.len();
+    let mut block = Vec::with_capacity(block_len);
+    block.push(0x00);
+    block.push(0x01);
+    block.extend(std::iter::repeat(0xFF).take(pad_len));
+    block.push(0x00);
+    block.extend_from_slice(digest);
+    Ok(block)
+}
+
+/// Removes signature padding, returning the digest.
+///
+/// # Errors
+///
+/// Returns [`RsaError::InvalidPadding`] if the block structure is malformed.
+pub fn unpad_sign(block: &[u8]) -> Result<Vec<u8>, RsaError> {
+    if block.len() < 3 + MIN_PAD_LEN || block[0] != 0x00 || block[1] != 0x01 {
+        return Err(RsaError::InvalidPadding);
+    }
+    let mut i = 2;
+    while i < block.len() && block[i] == 0xFF {
+        i += 1;
+    }
+    if i < 2 + MIN_PAD_LEN || i >= block.len() || block[i] != 0x00 {
+        return Err(RsaError::InvalidPadding);
+    }
+    Ok(block[i + 1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encrypt_padding_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for msg_len in [0usize, 1, 10, 100] {
+            let msg: Vec<u8> = (0..msg_len as u8).collect();
+            let block = pad_encrypt(&msg, 128, &mut rng).unwrap();
+            assert_eq!(block.len(), 128);
+            assert_eq!(unpad_encrypt(&block).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn sign_padding_roundtrip() {
+        for digest_len in [16usize, 32, 64] {
+            let digest: Vec<u8> = (0..digest_len as u8).collect();
+            let block = pad_sign(&digest, 128).unwrap();
+            assert_eq!(block.len(), 128);
+            assert_eq!(unpad_sign(&block).unwrap(), digest);
+        }
+    }
+
+    #[test]
+    fn oversized_messages_are_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert!(matches!(
+            pad_encrypt(&[0u8; 120], 128, &mut rng),
+            Err(RsaError::MessageTooLong { .. })
+        ));
+        assert!(matches!(
+            pad_sign(&[0u8; 120], 128),
+            Err(RsaError::MessageTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_blocks_are_rejected() {
+        assert_eq!(unpad_encrypt(&[0x00, 0x01, 0xFF]), Err(RsaError::InvalidPadding));
+        assert_eq!(unpad_sign(&[0x00, 0x02, 0xFF]), Err(RsaError::InvalidPadding));
+        // No zero separator.
+        let block = vec![0x00, 0x02, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+        assert_eq!(unpad_encrypt(&block), Err(RsaError::InvalidPadding));
+        // Separator too early (padding shorter than 8 bytes).
+        let mut block = vec![0x00, 0x02, 1, 2, 0x00];
+        block.extend_from_slice(&[9; 20]);
+        assert_eq!(unpad_encrypt(&block), Err(RsaError::InvalidPadding));
+        // Signature block without terminating zero.
+        let block = vec![0x00, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF];
+        assert_eq!(unpad_sign(&block), Err(RsaError::InvalidPadding));
+    }
+}

@@ -1,0 +1,49 @@
+//! Umbrella crate hosting the workspace-level examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! It re-exports the public crates of the reproduction so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use suite::prelude::*;
+//!
+//! let params = CeilidhParams::toy().expect("toy parameters");
+//! assert_eq!(params.p().to_u64(), Some(101));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bignum;
+pub use ceilidh;
+pub use ecc;
+pub use field;
+pub use platform;
+pub use rsa_torus;
+
+/// Commonly used items across the reproduction.
+pub mod prelude {
+    pub use bignum::{BigUint, MontgomeryParams};
+    pub use ceilidh::{
+        compress, decompress, shared_secret, CeilidhParams, KeyPair, TorusElement,
+    };
+    pub use ecc::{scalar_mul, Curve, EccKeyPair, ScalarMulAlgorithm};
+    pub use field::{Fp6Context, FpContext};
+    pub use platform::{CostModel, Hierarchy, Platform};
+    pub use rsa_torus::RsaKeyPair;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_links_all_crates() {
+        let params = CeilidhParams::toy().unwrap();
+        let curve = Curve::toy().unwrap();
+        let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+        assert!(params.q().to_u64().unwrap() > 1);
+        assert!(curve.fp().bit_len() > 8);
+        assert_eq!(plat.interrupt_cycles(), 184);
+    }
+}

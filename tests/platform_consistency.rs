@@ -1,0 +1,120 @@
+//! Integration tests pinning the platform simulator against the host
+//! implementations and against the qualitative claims of the evaluation.
+
+use bignum::BigUint;
+use ecc::Curve;
+use field::Fp6Context;
+use platform::{Coprocessor, CostModel, Hierarchy, Platform};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn table1_shape() {
+    let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    let mm170 = plat.montgomery_multiplication_report(170).cycles;
+    let mm160 = plat.montgomery_multiplication_report(160).cycles;
+    let mm1024 = plat.montgomery_multiplication_report(1024).cycles;
+    let ma170 = plat.modular_addition_report(170).cycles;
+    let ms170 = plat.modular_subtraction_report(170).cycles;
+
+    assert!(mm160 < mm170);
+    assert!(ma170 < mm170 && ms170 < mm170);
+    let big_ratio = mm1024 as f64 / mm170 as f64;
+    assert!((10.0..40.0).contains(&big_ratio), "paper reports ≈23x, got {big_ratio:.1}x");
+    assert_eq!(plat.interrupt_cycles(), 184);
+}
+
+#[test]
+fn table2_shape() {
+    let a = Platform::new(CostModel::paper(), 4, Hierarchy::TypeA);
+    let b = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    let pairs = [
+        (a.fp6_multiplication_report(170), b.fp6_multiplication_report(170)),
+        (a.ecc_point_addition_report(160), b.ecc_point_addition_report(160)),
+        (a.ecc_point_doubling_report(160), b.ecc_point_doubling_report(160)),
+    ];
+    for (ra, rb) in pairs {
+        assert!(ra.cycles > rb.cycles, "Type-B must always win");
+        assert_eq!(rb.interrupts, 1, "Type-B: one interrupt per composite op");
+        assert_eq!(
+            ra.interrupts,
+            ra.modmuls + ra.modadds + ra.modsubs,
+            "Type-A: one interrupt per modular op"
+        );
+    }
+    // The T6 multiplication issues 18 MM + ~60 MA/MS, as in Section 2.2.2.
+    let t6 = b.fp6_multiplication_report(170);
+    assert_eq!(t6.modmuls, 18);
+    assert!((55..=70).contains(&(t6.modadds + t6.modsubs)));
+}
+
+#[test]
+fn table3_shape_full_drivers() {
+    // Small exponents keep this fast while preserving the per-bit cost; the
+    // full-size run lives in the bench harness.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+
+    let params = ceilidh::CeilidhParams::toy().unwrap();
+    let (_, base) = params.random_subgroup_element(&mut rng);
+    let (_, torus) = plat.torus_exponentiation(&params, &base, &BigUint::from(0x2aaaau64));
+
+    let curve = Curve::toy().unwrap();
+    let point = curve.random_point(&mut rng);
+    let (_, ecc) = plat.ecc_scalar_multiplication(&curve, &point, &BigUint::from(0x2aaaau64));
+
+    // Per-bit cost comparison: the torus pays one Fp6 mult per bit plus one
+    // per set bit; ECC pays one PD per bit plus one PA per set bit. With the
+    // same exponent the torus is more expensive per bit, and RSA (1024-bit
+    // operands) is more expensive still.
+    assert!(torus.cycles > ecc.cycles);
+    let (_, rsa) = plat.rsa_exponentiation(
+        &(BigUint::one().shl_bits(1023) + BigUint::from(13u64)),
+        &BigUint::from(3u64),
+        &BigUint::from(0x2aaaau64),
+    );
+    assert!(rsa.cycles > torus.cycles);
+}
+
+#[test]
+fn fig5_multicore_scaling_shape() {
+    let c1 = Coprocessor::new(CostModel::paper(), 1).mont_mul_cycles(256);
+    let c2 = Coprocessor::new(CostModel::paper(), 2).mont_mul_cycles(256);
+    let c4 = Coprocessor::new(CostModel::paper(), 4).mont_mul_cycles(256);
+    assert!(c1 > c2 && c2 > c4);
+    let speedup = c1 as f64 / c4 as f64;
+    assert!((1.8..4.0).contains(&speedup), "paper: 2.96x, got {speedup:.2}x");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulated coprocessor's Montgomery product satisfies the defining
+    /// relation `result * R ≡ x * y (mod p)` for random reduced operands.
+    #[test]
+    fn simulated_montgomery_is_correct_for_random_operands(seed in any::<u64>(), cores in 1usize..6) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = bignum::gen_prime(96, &mut rng);
+        let x = BigUint::random_below(&mut rng, &p);
+        let y = BigUint::random_below(&mut rng, &p);
+        let cp = Coprocessor::new(CostModel::paper(), cores);
+        let got = cp.mont_mul(&x, &y, &p);
+        let s = cp.cost().limbs(p.bit_len());
+        let r = BigUint::one().shl_bits(cp.cost().word_bits * s) % &p;
+        prop_assert_eq!(&(&got.value * &r) % &p, &(&x * &y) % &p);
+        prop_assert!(got.value < p);
+    }
+
+    /// The platform's Fp6 multiplication agrees with the host field tower
+    /// for random operands over the toy field.
+    #[test]
+    fn simulated_fp6_multiplication_is_correct(coeffs_a in prop::array::uniform6(0u64..101), coeffs_b in prop::array::uniform6(0u64..101)) {
+        let fp = field::FpContext::new(&BigUint::from(101u64)).unwrap();
+        let fp6 = Fp6Context::new(fp).unwrap();
+        let a = fp6.from_u64_coeffs(coeffs_a);
+        let b = fp6.from_u64_coeffs(coeffs_b);
+        let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+        let (got, _) = plat.run_fp6_multiplication(&fp6, &a, &b);
+        prop_assert_eq!(got, fp6.mul(&a, &b));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: multi-precision arithmetic, Montgomery reduction, the field
+//! tower and torus compression.
+
+use bignum::{mod_exp, BigUint, MontgomeryParams};
+use ceilidh::{compress, decompress, CeilidhParams};
+use field::{Fp6Context, FpContext};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary big integers up to `max_bytes` bytes.
+fn biguint(max_bytes: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u8>(), 0..=max_bytes).prop_map(|bytes| BigUint::from_be_bytes(&bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------- BigUint ring axioms ----------------------- //
+
+    #[test]
+    fn addition_is_commutative_and_associative(a in biguint(40), b in biguint(40), c in biguint(40)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in biguint(32), b in biguint(32), c in biguint(32)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in biguint(40), b in biguint(40)) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn division_recomposes(a in biguint(48), b in biguint(24)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shifts_are_multiplication_by_powers_of_two(a in biguint(32), k in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(k).shr_bits(k), a.clone());
+        prop_assert_eq!(a.shl_bits(k), &a * &BigUint::one().shl_bits(k));
+    }
+
+    #[test]
+    fn hex_and_decimal_roundtrip(a in biguint(32)) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a.clone());
+        prop_assert_eq!(a.to_string().parse::<BigUint>().unwrap(), a.clone());
+        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    // --------------------- Montgomery multiplication --------------------- //
+
+    #[test]
+    fn montgomery_matches_plain_modular_multiplication(
+        a in biguint(24),
+        b in biguint(24),
+        mut m in biguint(24),
+    ) {
+        m = &m + &BigUint::from(3u64);
+        if m.is_even() {
+            m = &m + &BigUint::one();
+        }
+        let a = &a % &m;
+        let b = &b % &m;
+        let mont = MontgomeryParams::new(&m).unwrap();
+        let got = mont.from_mont(&mont.mont_mul(&mont.to_mont(&a), &mont.to_mont(&b)));
+        prop_assert_eq!(got, &(&a * &b) % &m);
+    }
+
+    #[test]
+    fn montgomery_exponentiation_matches_reference(
+        base in biguint(16),
+        exp in biguint(6),
+        mut m in biguint(16),
+    ) {
+        m = &m + &BigUint::from(3u64);
+        if m.is_even() {
+            m = &m + &BigUint::one();
+        }
+        let mont = MontgomeryParams::new(&m).unwrap();
+        prop_assert_eq!(mont.mod_exp(&base, &exp), mod_exp(&base, &exp, &m));
+    }
+
+    // --------------------------- Field tower ----------------------------- //
+
+    #[test]
+    fn fp6_field_axioms_hold(coeffs_a in prop::array::uniform6(0u64..101), coeffs_b in prop::array::uniform6(0u64..101)) {
+        let fp = FpContext::new(&BigUint::from(101u64)).unwrap();
+        let fp6 = Fp6Context::new(fp).unwrap();
+        let a = fp6.from_u64_coeffs(coeffs_a);
+        let b = fp6.from_u64_coeffs(coeffs_b);
+        prop_assert_eq!(fp6.mul(&a, &b), fp6.mul(&b, &a));
+        prop_assert_eq!(fp6.add(&a, &b), fp6.add(&b, &a));
+        // Frobenius is multiplicative.
+        prop_assert_eq!(
+            fp6.frobenius(&fp6.mul(&a, &b), 1),
+            fp6.mul(&fp6.frobenius(&a, 1), &fp6.frobenius(&b, 1))
+        );
+        // Non-zero elements invert.
+        if !a.is_zero() {
+            let inv = fp6.inv(&a).unwrap();
+            prop_assert_eq!(fp6.mul(&a, &inv), fp6.one());
+        }
+    }
+
+    // ------------------------- Torus invariants -------------------------- //
+
+    #[test]
+    fn torus_exponentiation_stays_in_torus_and_compresses(exponent in 1u64..10_000) {
+        let params = CeilidhParams::toy().unwrap();
+        let g = params.generator();
+        let element = params.pow(&g, &BigUint::from(exponent));
+        prop_assert!(params.is_torus_member(element.as_fp6()));
+        if element != params.identity() {
+            let c = compress(&params, &element).unwrap();
+            prop_assert!(c.hint < 4);
+            prop_assert_eq!(decompress(&params, &c).unwrap(), element);
+        }
+    }
+
+    #[test]
+    fn torus_inverse_is_conjugate(exponent in 1u64..10_000) {
+        let params = CeilidhParams::toy().unwrap();
+        let g = params.generator();
+        let element = params.pow(&g, &BigUint::from(exponent));
+        prop_assert_eq!(params.mul(&element, &params.invert(&element)), params.identity());
+    }
+}
