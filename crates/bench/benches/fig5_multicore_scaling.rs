@@ -13,7 +13,9 @@ fn bench_multicore_schedule(c: &mut Criterion) {
     let x = BigUint::random_below(&mut rng, &p);
     let y = BigUint::random_below(&mut rng, &p);
     let mut group = c.benchmark_group("fig5/simulated_256bit_mm");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for cores in [1usize, 2, 4, 8] {
         let cp = Coprocessor::new(CostModel::paper(), cores);
         group.bench_function(format!("{cores}_cores"), |b| {

@@ -10,7 +10,9 @@ use std::time::Duration;
 fn bench_variants(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
     let mut group = c.benchmark_group("ablation/mont_variants");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for bits in [170usize, 1024] {
         let p = bignum::gen_prime(bits, &mut rng);
         let mont = MontgomeryParams::new(&p).unwrap();

@@ -12,7 +12,9 @@ fn bench_simulated_modular_ops(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let cp = Coprocessor::new(CostModel::paper(), 4);
     let mut group = c.benchmark_group("table1/simulated");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for bits in [160usize, 170, 1024] {
         let p = bignum::gen_prime(bits, &mut rng);
         let x = BigUint::random_below(&mut rng, &p);
@@ -33,7 +35,9 @@ fn bench_simulated_modular_ops(c: &mut Criterion) {
 fn bench_host_montgomery(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let mut group = c.benchmark_group("table1/host");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for bits in [170usize, 1024] {
         let p = bignum::gen_prime(bits, &mut rng);
         let mont = MontgomeryParams::new(&p).unwrap();

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_simulated_composites(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/simulated");
-    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
     for (name, hierarchy) in [("type_a", Hierarchy::TypeA), ("type_b", Hierarchy::TypeB)] {
         let plat = Platform::new(CostModel::paper(), 4, hierarchy);
         group.bench_function(format!("{name}/t6_mult_170"), |b| {
@@ -33,7 +35,9 @@ fn bench_host_fp6_mult(c: &mut Criterion) {
     let a = fp6.random(&mut rng);
     let b = fp6.random(&mut rng);
     let mut group = c.benchmark_group("table2/host");
-    group.sample_size(30).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("fp6_mult_170", |bch| bch.iter(|| fp6.mul(&a, &b)));
     group.finish();
 }

@@ -14,7 +14,9 @@ use std::time::Duration;
 fn bench_public_key_ops(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let mut group = c.benchmark_group("table3/host");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     // 170-bit torus exponentiation.
     let params = CeilidhParams::date2008().unwrap();

@@ -10,7 +10,7 @@
 use bench::{print_table, Row};
 use bignum::BigUint;
 use ceilidh::CeilidhParams;
-use platform::{CostModel, Coprocessor, Hierarchy, Platform};
+use platform::{Coprocessor, CostModel, Hierarchy, Platform};
 use rand::SeedableRng;
 
 fn main() {
@@ -35,11 +35,18 @@ fn interrupt_sweep() {
             .cycles;
         rows.push(Row {
             label: format!("interrupt = {interrupt} cycles: Type-A {a}, Type-B {b}"),
-            paper: if interrupt == 184 { "3.78x".into() } else { "-".into() },
+            paper: if interrupt == 184 {
+                "3.78x".into()
+            } else {
+                "-".into()
+            },
             measured: format!("{:.2}x", a as f64 / b as f64),
         });
     }
-    print_table("Ablation: communication overhead (Type-A / Type-B ratio)", &rows);
+    print_table(
+        "Ablation: communication overhead (Type-A / Type-B ratio)",
+        &rows,
+    );
 }
 
 fn window_sweep() {
@@ -58,7 +65,10 @@ fn window_sweep() {
             measured: format!("{}M", ops.mul),
         });
     }
-    print_table("Ablation: windowed torus exponentiation (Fp multiplications)", &rows);
+    print_table(
+        "Ablation: windowed torus exponentiation (Fp multiplications)",
+        &rows,
+    );
 }
 
 fn core_sweep_rsa() {
@@ -91,11 +101,10 @@ fn future_work() {
     let rows = vec![
         Row::cycles("T6 mult., baseline cost model", 5908, t6_base),
         Row::cycles("T6 mult., fast-adder cost model", 5908, t6_fast),
-        Row::ratio(
-            "improvement",
-            1.0,
-            t6_base as f64 / t6_fast as f64,
-        ),
+        Row::ratio("improvement", 1.0, t6_base as f64 / t6_fast as f64),
     ];
-    print_table("Ablation: the paper's future-work item (faster adders)", &rows);
+    print_table(
+        "Ablation: the paper's future-work item (faster adders)",
+        &rows,
+    );
 }

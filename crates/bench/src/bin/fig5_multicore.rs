@@ -28,9 +28,7 @@ fn main() {
         "Figure 5: multicore Montgomery multiplication (speed-up vs 1 core)",
         &rows,
     );
-    println!(
-        "\nAlso swept for the torus operand length (170-bit):"
-    );
+    println!("\nAlso swept for the torus operand length (170-bit):");
     for cores in [1usize, 2, 4] {
         let cycles = Coprocessor::new(CostModel::paper(), cores).mont_mul_cycles(170);
         println!("  170-bit MM on {cores} core(s): {cycles} cycles");

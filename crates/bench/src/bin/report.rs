@@ -47,8 +47,16 @@ fn main() {
             paper::ECC_PD_TYPE_A as f64 / paper::ECC_PD_TYPE_B as f64,
             pd_a as f64 / pd_b as f64,
         ),
-        Row::millis("torus exponentiation [ms] (Table 3)", paper::TORUS_MS, to_ms(torus)),
-        Row::millis("RSA exponentiation [ms] (Table 3)", paper::RSA_MS, to_ms(rsa)),
+        Row::millis(
+            "torus exponentiation [ms] (Table 3)",
+            paper::TORUS_MS,
+            to_ms(torus),
+        ),
+        Row::millis(
+            "RSA exponentiation [ms] (Table 3)",
+            paper::RSA_MS,
+            to_ms(rsa),
+        ),
         Row::millis("ECC scalar mult [ms] (Table 3)", paper::ECC_MS, to_ms(ecc)),
         Row::ratio(
             "CEILIDH faster than RSA (headline)",

@@ -32,11 +32,8 @@ fn main() {
     // 1024-bit RSA exponentiation.
     let keys = rsa_torus::RsaKeyPair::generate(1024, &mut rng).expect("key generation");
     let message = BigUint::random_below(&mut rng, keys.public().modulus());
-    let (_, rsa_report) = plat.rsa_exponentiation(
-        keys.public().modulus(),
-        &message,
-        keys.private_exponent(),
-    );
+    let (_, rsa_report) =
+        plat.rsa_exponentiation(keys.public().modulus(), &message, keys.private_exponent());
 
     let torus_ms = torus_report.time_ms(&cost);
     let ecc_ms = ecc_report.time_ms(&cost);
@@ -49,7 +46,11 @@ fn main() {
             measured: "n/a (no synthesis)".into(),
         },
         Row::millis("Frequency [MHz]", paper::FREQ_MHZ, cost.clock_mhz),
-        Row::millis("170-bit torus exponentiation [ms]", paper::TORUS_MS, torus_ms),
+        Row::millis(
+            "170-bit torus exponentiation [ms]",
+            paper::TORUS_MS,
+            torus_ms,
+        ),
         Row::millis("1024-bit RSA exponentiation [ms]", paper::RSA_MS, rsa_ms),
         Row::millis("160-bit ECC scalar mult. [ms]", paper::ECC_MS, ecc_ms),
         Row::ratio(

@@ -151,10 +151,22 @@ mod tests {
 
     #[test]
     fn gcd_small_values() {
-        assert_eq!(gcd(&BigUint::from(0u64), &BigUint::from(5u64)).to_u64(), Some(5));
-        assert_eq!(gcd(&BigUint::from(5u64), &BigUint::from(0u64)).to_u64(), Some(5));
-        assert_eq!(gcd(&BigUint::from(12u64), &BigUint::from(18u64)).to_u64(), Some(6));
-        assert_eq!(gcd(&BigUint::from(17u64), &BigUint::from(31u64)).to_u64(), Some(1));
+        assert_eq!(
+            gcd(&BigUint::from(0u64), &BigUint::from(5u64)).to_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            gcd(&BigUint::from(5u64), &BigUint::from(0u64)).to_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            gcd(&BigUint::from(12u64), &BigUint::from(18u64)).to_u64(),
+            Some(6)
+        );
+        assert_eq!(
+            gcd(&BigUint::from(17u64), &BigUint::from(31u64)).to_u64(),
+            Some(1)
+        );
     }
 
     #[test]

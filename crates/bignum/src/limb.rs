@@ -76,14 +76,13 @@ mod tests {
         assert_eq!(mac(3, 7, 9, 1), (67, 0));
         // Max everything still fits in a double limb.
         let (lo, hi) = mac(u32::MAX, u32::MAX, u32::MAX, u32::MAX);
-        let expected =
-            u32::MAX as u64 + (u32::MAX as u64) * (u32::MAX as u64) + u32::MAX as u64;
+        let expected = u32::MAX as u64 + (u32::MAX as u64) * (u32::MAX as u64) + u32::MAX as u64;
         assert_eq!(lo as u64 | ((hi as u64) << 32), expected);
     }
 
     #[test]
     fn inv_mod_limb_is_negative_inverse() {
-        for &m in &[1u32, 3, 5, 0xFFFF_FFFF, 0x1234_5677, 2_147_483_659u32 as u32] {
+        for &m in &[1u32, 3, 5, 0xFFFF_FFFF, 0x1234_5677, 2_147_483_659_u32] {
             if m & 1 == 0 {
                 continue;
             }

@@ -110,7 +110,10 @@ mod tests {
         let a = BigUint::from(999_999_999u64);
         let b = BigUint::from(100u64);
         assert_eq!(mod_add(&a, &b, &m()).to_u64(), Some(92));
-        assert_eq!(mod_sub(&b, &a, &m()).to_u64(), Some(1_000_000_007 - 999_999_899));
+        assert_eq!(
+            mod_sub(&b, &a, &m()).to_u64(),
+            Some(1_000_000_007 - 999_999_899)
+        );
         assert_eq!(mod_neg(&b, &m()).to_u64(), Some(1_000_000_007 - 100));
         assert_eq!(mod_neg(&BigUint::zero(), &m()), BigUint::zero());
     }

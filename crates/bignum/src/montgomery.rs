@@ -164,9 +164,9 @@ impl MontgomeryParams {
         let s = self.s;
         let n = &self.modulus_limbs;
         let mut t = vec![0 as Limb; s + 2];
-        for i in 0..s {
+        for &y_i in y.iter().take(s) {
             // (C,S) = t[0] + x[0]*y[i]
-            let (sum, mut carry_x) = mac(t[0], x[0], y[i], 0);
+            let (sum, mut carry_x) = mac(t[0], x[0], y_i, 0);
             // Propagate the multiplication carry into t[1..].
             add_carry_at(&mut t, 1, carry_x);
             let m = sum.wrapping_mul(self.n0_inv);
@@ -174,7 +174,7 @@ impl MontgomeryParams {
             let (_, mut carry_m) = mac(sum, m, n[0], 0);
             carry_x = 0;
             for j in 1..s {
-                let (sum, c1) = mac(t[j], x[j], y[i], carry_x);
+                let (sum, c1) = mac(t[j], x[j], y_i, carry_x);
                 carry_x = c1;
                 let (res, c2) = mac(sum, m, n[j], carry_m);
                 carry_m = c2;
@@ -198,10 +198,10 @@ impl MontgomeryParams {
         let s = self.s;
         let n = &self.modulus_limbs;
         let mut t = vec![0 as Limb; s + 2];
-        for i in 0..s {
+        for &y_i in y.iter().take(s) {
             let mut carry = 0;
             for j in 0..s {
-                let (lo, hi) = mac(t[j], x[j], y[i], carry);
+                let (lo, hi) = mac(t[j], x[j], y_i, carry);
                 t[j] = lo;
                 carry = hi;
             }
@@ -275,8 +275,7 @@ mod tests {
         vec![
             BigUint::from(97u64),
             BigUint::from(1_000_000_007u64),
-            BigUint::from_hex("ffffffffffffffffffffffffffffffff000000000000000000000001")
-                .unwrap(),
+            BigUint::from_hex("ffffffffffffffffffffffffffffffff000000000000000000000001").unwrap(),
             // A 170-bit prime-ish odd modulus (correct Montgomery arithmetic
             // does not require primality).
             BigUint::from_hex("3fffffffffffffffffffffffffffffffffffffffffb").unwrap(),
@@ -362,7 +361,9 @@ mod tests {
     fn exponent_edge_cases() {
         let p = BigUint::from(97u64);
         let mont = MontgomeryParams::new(&p).unwrap();
-        assert!(mont.mod_exp(&BigUint::from(5u64), &BigUint::zero()).is_one());
+        assert!(mont
+            .mod_exp(&BigUint::from(5u64), &BigUint::zero())
+            .is_one());
         assert_eq!(
             mont.mod_exp(&BigUint::from(5u64), &BigUint::one()).to_u64(),
             Some(5)

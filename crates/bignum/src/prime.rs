@@ -13,9 +13,9 @@ use crate::uint::BigUint;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u32; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Runs `rounds` iterations of the Miller–Rabin probabilistic primality test.
@@ -171,7 +171,10 @@ mod tests {
             assert!(is_prime(&BigUint::from(p), &mut rng), "{p} should be prime");
         }
         for c in composites {
-            assert!(!is_prime(&BigUint::from(c), &mut rng), "{c} should be composite");
+            assert!(
+                !is_prime(&BigUint::from(c), &mut rng),
+                "{c} should be composite"
+            );
         }
     }
 
@@ -179,7 +182,10 @@ mod tests {
     fn carmichael_numbers_rejected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 62745, 162401] {
-            assert!(!is_prime(&BigUint::from(c), &mut rng), "{c} is a Carmichael number");
+            assert!(
+                !is_prime(&BigUint::from(c), &mut rng),
+                "{c} is a Carmichael number"
+            );
         }
     }
 

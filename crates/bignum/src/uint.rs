@@ -86,9 +86,7 @@ impl BigUint {
         }
         let mut out = BigUint::zero();
         for ch in s.chars() {
-            let d = ch
-                .to_digit(16)
-                .ok_or(ParseBigUintError::InvalidDigit(ch))?;
+            let d = ch.to_digit(16).ok_or(ParseBigUintError::InvalidDigit(ch))?;
             out = out.shl_bits(4);
             out = &out + &BigUint::from(d as u64);
         }
@@ -168,16 +166,16 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / LIMB_BITS;
         let off = i % LIMB_BITS;
-        self.limbs
-            .get(limb)
-            .map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Returns the number of significant bits (0 for zero).
     pub fn bit_len(&self) -> usize {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros() as usize),
+            Some(&top) => {
+                (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros() as usize)
+            }
         }
     }
 
@@ -199,7 +197,7 @@ impl BigUint {
     /// Panics if `bits == 0`.
     pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
         assert!(bits > 0, "cannot generate a 0-bit integer");
-        let limbs = (bits + LIMB_BITS - 1) / LIMB_BITS;
+        let limbs = bits.div_ceil(LIMB_BITS);
         let mut v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
         let top_bits = bits - (limbs - 1) * LIMB_BITS;
         let mask = if top_bits == LIMB_BITS {
@@ -221,7 +219,7 @@ impl BigUint {
         assert!(!bound.is_zero(), "bound must be positive");
         let bits = bound.bit_len();
         loop {
-            let limbs = (bits + LIMB_BITS - 1) / LIMB_BITS;
+            let limbs = bits.div_ceil(LIMB_BITS);
             let mut v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
             let top_bits = bits - (limbs - 1) * LIMB_BITS;
             let mask = if top_bits == LIMB_BITS {
@@ -314,7 +312,7 @@ impl BigUint {
     /// Left shift by `bits`.
     pub fn shl_bits(&self, bits: usize) -> BigUint {
         if self.is_zero() || bits == 0 {
-            return if bits == 0 { self.clone() } else { self.clone() };
+            return self.clone();
         }
         let limb_shift = bits / LIMB_BITS;
         let bit_shift = bits % LIMB_BITS;
@@ -338,14 +336,14 @@ impl BigUint {
             return BigUint::zero();
         }
         let mut out = vec![0 as Limb; self.limbs.len() - limb_shift];
-        for i in 0..out.len() {
+        for (i, slot) in out.iter_mut().enumerate() {
             let lo = self.limbs[i + limb_shift];
             let hi = if i + limb_shift + 1 < self.limbs.len() {
                 self.limbs[i + limb_shift + 1]
             } else {
                 0
             };
-            out[i] = if bit_shift == 0 {
+            *slot = if bit_shift == 0 {
                 lo
             } else {
                 (lo >> bit_shift) | (hi << (LIMB_BITS - bit_shift))
@@ -493,7 +491,7 @@ impl Add for &BigUint {
 impl Add for BigUint {
     type Output = BigUint;
     fn add(self, rhs: BigUint) -> BigUint {
-        (&self).add_impl(&rhs)
+        self.add_impl(&rhs)
     }
 }
 
@@ -525,7 +523,7 @@ impl Mul for &BigUint {
 impl Mul for BigUint {
     type Output = BigUint;
     fn mul(self, rhs: BigUint) -> BigUint {
-        (&self).mul_impl(&rhs)
+        self.mul_impl(&rhs)
     }
 }
 
@@ -664,9 +662,7 @@ impl FromStr for BigUint {
         let mut out = BigUint::zero();
         let ten = BigUint::from(10u64);
         for ch in s.chars() {
-            let d = ch
-                .to_digit(10)
-                .ok_or(ParseBigUintError::InvalidDigit(ch))?;
+            let d = ch.to_digit(10).ok_or(ParseBigUintError::InvalidDigit(ch))?;
             out = &(&out * &ten) + &BigUint::from(d as u64);
         }
         Ok(out)
@@ -721,10 +717,7 @@ mod tests {
     #[test]
     fn be_bytes_roundtrip() {
         let v = BigUint::from_hex("0102030405060708090a").unwrap();
-        assert_eq!(
-            v.to_be_bytes(),
-            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
-        );
+        assert_eq!(v.to_be_bytes(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
         assert_eq!(BigUint::from_be_bytes(&v.to_be_bytes()), v);
     }
 

@@ -24,9 +24,17 @@ fn main() {
     let params = CeilidhParams::generate(bits, &mut rng).expect("generation cannot fail");
     eprintln!("found in {:.2?}", start.elapsed());
 
-    println!("p  ({} bits) = 0x{}", params.p().bit_len(), params.p().to_hex());
+    println!(
+        "p  ({} bits) = 0x{}",
+        params.p().bit_len(),
+        params.p().to_hex()
+    );
     println!("p mod 9      = {}", params.p() % &BigUint::from(9u64));
-    println!("q  ({} bits) = 0x{}", params.q().bit_len(), params.q().to_hex());
+    println!(
+        "q  ({} bits) = 0x{}",
+        params.q().bit_len(),
+        params.q().to_hex()
+    );
     println!("cofactor     = {}", params.cofactor());
     println!();
     println!("const P_{bits}_HEX: &str = \"{}\";", params.p().to_hex());

@@ -68,10 +68,7 @@ impl CompressedTorus {
 /// Returns [`CeilidhError::CompressionFailed`] for the identity element
 /// (not covered by the rational parameterisation) and
 /// [`CeilidhError::NotInTorus`] if the element is not in `T2(Fp3)`.
-pub fn compress_t2(
-    params: &CeilidhParams,
-    g: &TorusElement,
-) -> Result<CompressedT2, CeilidhError> {
+pub fn compress_t2(params: &CeilidhParams, g: &TorusElement) -> Result<CompressedT2, CeilidhError> {
     let fp6 = params.fp6();
     let value = g.as_fp6();
     if *value == fp6.one() {
@@ -174,12 +171,7 @@ fn t2_point(params: &CeilidhParams, a: &Fp6Element) -> Result<Fp6Element, Ceilid
 }
 
 /// Embeds `(u0, u1, u2)` as `u0 + u1·x + u2·x² ∈ Fp3 ⊂ Fp6`.
-fn embed_fp3(
-    params: &CeilidhParams,
-    u0: &FpElement,
-    u1: &FpElement,
-    u2: &FpElement,
-) -> Fp6Element {
+fn embed_fp3(params: &CeilidhParams, u0: &FpElement, u1: &FpElement, u2: &FpElement) -> Fp6Element {
     let fp6 = params.fp6();
     let x = fp6.zeta_plus_inverse();
     let x2 = fp6.mul(&x, &x);
@@ -221,7 +213,7 @@ fn constraint_roots(
     params: &CeilidhParams,
     u0: &FpElement,
     u1: &FpElement,
-    ) -> Result<Vec<BigUint>, CeilidhError> {
+) -> Result<Vec<BigUint>, CeilidhError> {
     let fp = params.fp();
     let fp6 = params.fp6();
     let gamma = fp6.zeta_minus_inverse();
@@ -248,10 +240,7 @@ fn constraint_roots(
     let mut polys: Vec<[FpElement; 3]> = Vec::with_capacity(6);
     for i in 0..6 {
         let c0 = d0[i].clone();
-        let c2 = fp.mul(
-            &fp.add(&fp.sub(&d0[i], &fp.double(&d1[i])), &d2[i]),
-            &half,
-        );
+        let c2 = fp.mul(&fp.add(&fp.sub(&d0[i], &fp.double(&d1[i])), &d2[i]), &half);
         let c1 = fp.sub(&fp.sub(&d1[i], &d0[i]), &c2);
         polys.push([c0, c1, c2]);
     }
@@ -280,10 +269,7 @@ fn constraint_roots(
         roots.push(t);
     } else {
         // discriminant = c1² - 4 c0 c2
-        let disc = fp.sub(
-            &fp.square(&c1),
-            &fp.mul(&fp.from_u64(4), &fp.mul(&c0, &c2)),
-        );
+        let disc = fp.sub(&fp.square(&c1), &fp.mul(&fp.from_u64(4), &fp.mul(&c0, &c2)));
         if let Some(sqrt_disc) = fp.sqrt(&disc) {
             let inv_2a = fp
                 .inv(&fp.double(&c2))
@@ -389,9 +375,8 @@ mod tests {
     #[test]
     fn non_torus_elements_are_rejected() {
         let params = params();
-        let bogus = TorusElement::from_fp6_unchecked(
-            params.fp6().from_u64_coeffs([2, 3, 0, 0, 0, 0]),
-        );
+        let bogus =
+            TorusElement::from_fp6_unchecked(params.fp6().from_u64_coeffs([2, 3, 0, 0, 0, 0]));
         assert_eq!(
             compress(&params, &bogus).unwrap_err(),
             CeilidhError::NotInTorus

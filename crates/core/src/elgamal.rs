@@ -169,12 +169,7 @@ mod tests {
     #[test]
     fn hybrid_roundtrip() {
         let (params, kp, mut rng) = setup();
-        for msg in [
-            &b""[..],
-            b"a",
-            b"attack at dawn",
-            &[0u8; 257],
-        ] {
+        for msg in [&b""[..], b"a", b"attack at dawn", &[0u8; 257]] {
             let ct = encrypt_hybrid(&params, kp.public(), msg, &mut rng).unwrap();
             assert_eq!(ct.payload.len(), msg.len());
             let pt = decrypt_hybrid(&params, kp.secret(), &ct).unwrap();

@@ -46,7 +46,8 @@ impl ToyKdf {
     pub fn absorb(&mut self, data: &[u8]) -> &mut Self {
         for &b in data {
             let lane = (self.absorbed % 4) as usize;
-            self.state[lane] = splitmix64(self.state[lane] ^ (b as u64) ^ self.absorbed.rotate_left(17));
+            self.state[lane] =
+                splitmix64(self.state[lane] ^ (b as u64) ^ self.absorbed.rotate_left(17));
             self.absorbed = self.absorbed.wrapping_add(1);
             // Cross-mix lanes after every word boundary.
             if self.absorbed % 8 == 0 {

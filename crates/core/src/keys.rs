@@ -85,11 +85,7 @@ impl KeyPair {
 }
 
 /// Computes the Diffie–Hellman shared torus element `peer^x`.
-pub fn shared_secret(
-    params: &CeilidhParams,
-    secret: &SecretKey,
-    peer: &PublicKey,
-) -> TorusElement {
+pub fn shared_secret(params: &CeilidhParams, secret: &SecretKey, peer: &PublicKey) -> TorusElement {
     params.pow(&peer.element, &secret.scalar)
 }
 

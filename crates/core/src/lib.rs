@@ -52,7 +52,9 @@ mod params;
 mod schnorr;
 mod torus;
 
-pub use compress::{compress, compress_t2, decompress, decompress_t2, CompressedT2, CompressedTorus};
+pub use compress::{
+    compress, compress_t2, decompress, decompress_t2, CompressedT2, CompressedTorus,
+};
 pub use elgamal::{
     decrypt_element, decrypt_hybrid, encrypt_element, encrypt_hybrid, ElGamalCiphertext,
     HybridCiphertext,

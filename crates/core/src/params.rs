@@ -69,9 +69,7 @@ impl CeilidhParams {
             .div_rem(q)
             .map_err(|_| CeilidhError::InvalidParameters("q must be non-zero"))?;
         if !rem.is_zero() {
-            return Err(CeilidhError::InvalidParameters(
-                "q must divide p^2 - p + 1",
-            ));
+            return Err(CeilidhError::InvalidParameters("q must divide p^2 - p + 1"));
         }
 
         let generator = Self::find_generator(&fp6, p, q)?;
@@ -290,7 +288,9 @@ mod tests {
             Err(CeilidhError::InvalidParameters(_))
         ));
         // p not congruent to 2 or 5 mod 9.
-        assert!(CeilidhParams::from_components(&BigUint::from(19u64), &BigUint::from(7u64)).is_err());
+        assert!(
+            CeilidhParams::from_components(&BigUint::from(19u64), &BigUint::from(7u64)).is_err()
+        );
         // trivial q.
         assert!(matches!(
             CeilidhParams::from_components(&BigUint::from(101u64), &BigUint::one()),

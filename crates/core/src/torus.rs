@@ -113,10 +113,7 @@ impl CeilidhParams {
 
     /// A uniformly random element of the order-`q` subgroup, together with
     /// its discrete logarithm to the generator.
-    pub fn random_subgroup_element<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> (BigUint, TorusElement) {
+    pub fn random_subgroup_element<R: Rng + ?Sized>(&self, rng: &mut R) -> (BigUint, TorusElement) {
         let exponent = BigUint::random_below(rng, self.q());
         let element = self.pow(&self.generator(), &exponent);
         (exponent, element)

@@ -217,10 +217,7 @@ impl Curve {
                     }
                     return AffinePoint::Infinity;
                 }
-                let lambda = fp.mul(
-                    &fp.sub(y2, y1),
-                    &fp.inv(&fp.sub(x2, x1)).expect("x2 != x1"),
-                );
+                let lambda = fp.mul(&fp.sub(y2, y1), &fp.inv(&fp.sub(x2, x1)).expect("x2 != x1"));
                 let x3 = fp.sub(&fp.sub(&fp.square(&lambda), x1), x2);
                 let y3 = fp.sub(&fp.mul(&lambda, &fp.sub(x1, &x3)), y1);
                 AffinePoint::Point { x: x3, y: y3 }
@@ -290,11 +287,8 @@ impl Curve {
         let a_sq = fp.square(&p.x); // X1²
         let b_sq = fp.square(&p.y); // Y1²
         let c = fp.square(&b_sq); // Y1⁴
-        // D = 2((X1 + B)² - A - C)
-        let d = fp.double(&fp.sub(
-            &fp.sub(&fp.square(&fp.add(&p.x, &b_sq)), &a_sq),
-            &c,
-        ));
+                                  // D = 2((X1 + B)² - A - C)
+        let d = fp.double(&fp.sub(&fp.sub(&fp.square(&fp.add(&p.x, &b_sq)), &a_sq), &c));
         // E = 3A + a·Z1⁴
         let z2 = fp.square(&p.z);
         let e = fp.add(
@@ -344,10 +338,7 @@ impl Curve {
         let r = fp.double(&fp.sub(&s2, &s1));
         let v = fp.mul(&u1, &i);
         let x3 = fp.sub(&fp.sub(&fp.square(&r), &j), &fp.double(&v));
-        let y3 = fp.sub(
-            &fp.mul(&r, &fp.sub(&v, &x3)),
-            &fp.double(&fp.mul(&s1, &j)),
-        );
+        let y3 = fp.sub(&fp.mul(&r, &fp.sub(&v, &x3)), &fp.double(&fp.mul(&s1, &j)));
         let z3 = fp.mul(
             &fp.sub(&fp.sub(&fp.square(&fp.add(&p.z, &q.z)), &z1z1), &z2z2),
             &h,
@@ -367,10 +358,9 @@ impl Curve {
     pub fn compress_point(&self, p: &AffinePoint) -> Result<(BigUint, bool), EccError> {
         match p {
             AffinePoint::Infinity => Err(EccError::PointAtInfinity),
-            AffinePoint::Point { x, y } => Ok((
-                self.fp.to_biguint(x),
-                self.fp.to_biguint(y).bit(0),
-            )),
+            AffinePoint::Point { x, y } => {
+                Ok((self.fp.to_biguint(x), self.fp.to_biguint(y).bit(0)))
+            }
         }
     }
 
@@ -452,7 +442,10 @@ impl Curve {
         for xi in 0..p {
             let x = self.fp.from_u64(xi);
             let rhs = self.fp.add(
-                &self.fp.add(&self.fp.mul(&x, &self.fp.square(&x)), &self.fp.mul(&self.a, &x)),
+                &self.fp.add(
+                    &self.fp.mul(&x, &self.fp.square(&x)),
+                    &self.fp.mul(&self.a, &x),
+                ),
                 &self.b,
             );
             if rhs.is_zero() {
@@ -475,7 +468,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let p = BigUint::from_hex(P_160_HEX).unwrap();
         assert_eq!(p.bit_len(), 160);
-        assert!(bignum::is_prime(&p, &mut rng), "2^160 - 2^31 - 1 must be prime");
+        assert!(
+            bignum::is_prime(&p, &mut rng),
+            "2^160 - 2^31 - 1 must be prime"
+        );
         let curve = Curve::p160_reproduction().unwrap();
         assert!(curve.is_on_curve(curve.base_point()));
         assert!(!curve.base_point().is_infinity());
@@ -508,7 +504,7 @@ mod tests {
             None,
             "bad-base",
         );
-        assert!(matches!(err, Err(EccError::PointNotOnCurve)) || err.is_ok() == false);
+        assert!(matches!(err, Err(EccError::PointNotOnCurve)));
     }
 
     #[test]
@@ -521,7 +517,12 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         for _ in 0..5 {
             let p = curve.random_point(&mut rng);
-            let result = crate::scalar::scalar_mul(&curve, &p, &order, crate::ScalarMulAlgorithm::DoubleAndAdd);
+            let result = crate::scalar::scalar_mul(
+                &curve,
+                &p,
+                &order,
+                crate::ScalarMulAlgorithm::DoubleAndAdd,
+            );
             assert!(result.is_infinity(), "N·P must be the identity");
         }
     }
@@ -560,11 +561,20 @@ mod tests {
             let q = curve.random_point(&mut rng);
             let jp = curve.to_jacobian(&p);
             let jq = curve.to_jacobian(&q);
-            assert_eq!(curve.to_affine(&curve.jacobian_add(&jp, &jq)), curve.add(&p, &q));
-            assert_eq!(curve.to_affine(&curve.jacobian_double(&jp)), curve.double(&p));
+            assert_eq!(
+                curve.to_affine(&curve.jacobian_add(&jp, &jq)),
+                curve.add(&p, &q)
+            );
+            assert_eq!(
+                curve.to_affine(&curve.jacobian_double(&jp)),
+                curve.double(&p)
+            );
             // Adding a point to itself through the Jacobian path degrades to
             // doubling correctly.
-            assert_eq!(curve.to_affine(&curve.jacobian_add(&jp, &jp)), curve.double(&p));
+            assert_eq!(
+                curve.to_affine(&curve.jacobian_add(&jp, &jp)),
+                curve.double(&p)
+            );
         }
         // Infinity handling.
         let inf = curve.to_jacobian(&AffinePoint::Infinity);

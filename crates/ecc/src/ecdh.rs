@@ -106,7 +106,9 @@ mod tests {
         let fake = AffinePoint::new(curve.fp().from_u64(3), curve.fp().from_u64(4));
         if !curve.is_on_curve(&fake) {
             assert_eq!(
-                curve.shared_secret(&BigUint::from(7u64), &fake).unwrap_err(),
+                curve
+                    .shared_secret(&BigUint::from(7u64), &fake)
+                    .unwrap_err(),
                 EccError::PointNotOnCurve
             );
         }
@@ -122,7 +124,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
         let bob = EccKeyPair::generate(&curve, &mut rng);
         assert_eq!(
-            curve.shared_secret(bob.secret(), alice.public()).unwrap_err(),
+            curve
+                .shared_secret(bob.secret(), alice.public())
+                .unwrap_err(),
             EccError::PointAtInfinity
         );
     }

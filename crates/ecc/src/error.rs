@@ -54,10 +54,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(EccError::InvalidCurve("singular").to_string().contains("singular"));
+        assert!(EccError::InvalidCurve("singular")
+            .to_string()
+            .contains("singular"));
         assert!(EccError::PointNotOnCurve.to_string().contains("curve"));
-        assert!(EccError::InvalidCompressedPoint.to_string().contains("square root"));
+        assert!(EccError::InvalidCompressedPoint
+            .to_string()
+            .contains("square root"));
         assert!(EccError::PointAtInfinity.to_string().contains("infinity"));
-        assert!(EccError::from(FieldError::DivisionByZero).source().is_some());
+        assert!(EccError::from(FieldError::DivisionByZero)
+            .source()
+            .is_some());
     }
 }

@@ -42,7 +42,12 @@ pub fn scalar_mul(
 /// Computes `k · base_point` with the default algorithm (double-and-add,
 /// matching the sequence counted by the paper's cycle analysis).
 pub fn scalar_mul_base(curve: &Curve, k: &BigUint) -> AffinePoint {
-    scalar_mul(curve, curve.base_point(), k, ScalarMulAlgorithm::DoubleAndAdd)
+    scalar_mul(
+        curve,
+        curve.base_point(),
+        k,
+        ScalarMulAlgorithm::DoubleAndAdd,
+    )
 }
 
 fn double_and_add(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPoint {
@@ -139,8 +144,14 @@ mod tests {
             let p = curve.random_point(&mut rng);
             let k = BigUint::random_bits(&mut rng, 40);
             let reference = scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd);
-            assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf), reference);
-            assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4), reference);
+            assert_eq!(
+                scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf),
+                reference
+            );
+            assert_eq!(
+                scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4),
+                reference
+            );
             assert!(curve.is_on_curve(&reference));
         }
     }
@@ -152,8 +163,14 @@ mod tests {
         let p = curve.random_point(&mut rng);
         let k = BigUint::random_bits(&mut rng, 160);
         let reference = scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd);
-        assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf), reference);
-        assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4), reference);
+        assert_eq!(
+            scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf),
+            reference
+        );
+        assert_eq!(
+            scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4),
+            reference
+        );
         assert!(curve.is_on_curve(&reference));
     }
 
@@ -165,7 +182,12 @@ mod tests {
         let mut acc = AffinePoint::Infinity;
         for k in 0u64..20 {
             let expected = acc.clone();
-            let got = scalar_mul(&curve, &p, &BigUint::from(k), ScalarMulAlgorithm::DoubleAndAdd);
+            let got = scalar_mul(
+                &curve,
+                &p,
+                &BigUint::from(k),
+                ScalarMulAlgorithm::DoubleAndAdd,
+            );
             assert_eq!(got, expected, "k = {k}");
             acc = curve.add(&acc, &p);
         }
@@ -215,6 +237,9 @@ mod tests {
             ScalarMulAlgorithm::Window4
         )
         .is_infinity());
-        assert_eq!(scalar_mul_base(&curve, &BigUint::one()), *curve.base_point());
+        assert_eq!(
+            scalar_mul_base(&curve, &BigUint::one()),
+            *curve.base_point()
+        );
     }
 }

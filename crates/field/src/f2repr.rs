@@ -171,15 +171,15 @@ impl F2Repr {
 
     /// The map τ⁻¹ of Fig. 1: representation F2 → representation F1.
     pub fn to_f1(&self, a: &F2Element) -> Fp6Element {
-        let coords: Vec<FpElement> = a
-            .u
-            .coeffs()
-            .iter()
-            .chain(a.v.coeffs().iter())
-            .cloned()
-            .collect();
+        let coords: Vec<FpElement> =
+            a.u.coeffs()
+                .iter()
+                .chain(a.v.coeffs().iter())
+                .cloned()
+                .collect();
         let out = self.to_f1.mul_vec(&coords);
-        self.fp6.from_coeffs(std::array::from_fn(|i| out[i].clone()))
+        self.fp6
+            .from_coeffs(std::array::from_fn(|i| out[i].clone()))
     }
 
     /// Addition.
@@ -359,9 +359,6 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(36);
         let a = r.fp6().random(&mut rng);
         let e = BigUint::from(12345u64);
-        assert_eq!(
-            r.from_f1(&r.fp6().exp(&a, &e)),
-            r.exp(&r.from_f1(&a), &e)
-        );
+        assert_eq!(r.from_f1(&r.fp6().exp(&a, &e)), r.exp(&r.from_f1(&a), &e));
     }
 }

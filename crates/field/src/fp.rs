@@ -117,7 +117,9 @@ impl FpContext {
 
     /// The residue of `p` modulo `m` as a small integer.
     pub fn modulus_mod(&self, m: u32) -> u32 {
-        (&self.inner.modulus % &BigUint::from(m)).to_u64().unwrap_or(0) as u32
+        (&self.inner.modulus % &BigUint::from(m))
+            .to_u64()
+            .unwrap_or(0) as u32
     }
 
     /// The Montgomery parameters backing this field (exposed for the
@@ -314,7 +316,7 @@ impl FpContext {
         let one = BigUint::one();
         // Fast path: p ≡ 3 (mod 4) → a^((p+1)/4).
         if (p % &BigUint::from(4u64)).to_u64() == Some(3) {
-            let exp = (&(p + &one)).shr_bits(2);
+            let exp = (p + &one).shr_bits(2);
             return Some(self.exp(a, &exp));
         }
         // Tonelli–Shanks. Write p - 1 = q · 2^s with q odd.
@@ -330,7 +332,7 @@ impl FpContext {
         let mut m = s;
         let mut c = self.exp(&z, &q);
         let mut t = self.exp(a, &q);
-        let mut r = self.exp(a, &(&(&q + &one)).shr_bits(1));
+        let mut r = self.exp(a, &(&q + &one).shr_bits(1));
         while t != self.one() {
             // Find the least i with t^(2^i) = 1.
             let mut i = 0usize;
@@ -357,7 +359,12 @@ impl FpContext {
 
 impl fmt::Debug for FpContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FpContext(p=0x{}, {} bits)", self.inner.modulus.to_hex(), self.bit_len())
+        write!(
+            f,
+            "FpContext(p=0x{}, {} bits)",
+            self.inner.modulus.to_hex(),
+            self.bit_len()
+        )
     }
 }
 

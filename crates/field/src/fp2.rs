@@ -159,10 +159,7 @@ impl Fp2Context {
         let n = self.norm(a);
         let n_inv = self.fp.inv(&n).ok_or(FieldError::DivisionByZero)?;
         let conj = self.frobenius(a);
-        Ok(self.from_coeffs(
-            self.fp.mul(&conj.c0, &n_inv),
-            self.fp.mul(&conj.c1, &n_inv),
-        ))
+        Ok(self.from_coeffs(self.fp.mul(&conj.c0, &n_inv), self.fp.mul(&conj.c1, &n_inv)))
     }
 
     /// Exponentiation by square-and-multiply.

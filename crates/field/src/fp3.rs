@@ -255,11 +255,7 @@ impl Fp3Context {
 
 /// Multiplies two degree-2 polynomials with the 6M formula of Section 2.2.2,
 /// returning the five coefficients of the degree-4 product.
-pub(crate) fn karatsuba3(
-    fp: &FpContext,
-    a: &[FpElement; 3],
-    b: &[FpElement; 3],
-) -> [FpElement; 5] {
+pub(crate) fn karatsuba3(fp: &FpContext, a: &[FpElement; 3], b: &[FpElement; 3]) -> [FpElement; 5] {
     let c0 = fp.mul(&a[0], &b[0]);
     let c1 = fp.mul(&a[1], &b[1]);
     let c2 = fp.mul(&a[2], &b[2]);
@@ -290,13 +286,7 @@ mod tests {
     /// Schoolbook multiplication used as a reference for the Karatsuba path.
     fn schoolbook_mul(f: &Fp3Context, a: &Fp3Element, b: &Fp3Element) -> Fp3Element {
         let fp = f.fp();
-        let mut d = [
-            fp.zero(),
-            fp.zero(),
-            fp.zero(),
-            fp.zero(),
-            fp.zero(),
-        ];
+        let mut d = [fp.zero(), fp.zero(), fp.zero(), fp.zero(), fp.zero()];
         for i in 0..3 {
             for j in 0..3 {
                 d[i + j] = fp.add(&d[i + j], &fp.mul(&a.coeffs()[i], &b.coeffs()[j]));
@@ -349,10 +339,7 @@ mod tests {
             let b = f.random(&mut rng);
             let c = f.random(&mut rng);
             assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
-            assert_eq!(
-                f.mul(&f.mul(&a, &b), &c),
-                f.mul(&a, &f.mul(&b, &c))
-            );
+            assert_eq!(f.mul(&f.mul(&a, &b), &c), f.mul(&a, &f.mul(&b, &c)));
             assert_eq!(
                 f.mul(&a, &f.add(&b, &c)),
                 f.add(&f.mul(&a, &b), &f.mul(&a, &c))
@@ -398,10 +385,7 @@ mod tests {
         // Norm is multiplicative.
         let a = f.random(&mut rng);
         let b = f.random(&mut rng);
-        assert_eq!(
-            f.norm(&f.mul(&a, &b)),
-            f.fp().mul(&f.norm(&a), &f.norm(&b))
-        );
+        assert_eq!(f.norm(&f.mul(&a, &b)), f.fp().mul(&f.norm(&a), &f.norm(&b)));
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct Fp6Context {
 
 impl fmt::Debug for Fp6Context {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Fp6Context over {:?} (p ≡ {} mod 9)", self.fp, self.p_mod_9)
+        write!(
+            f,
+            "Fp6Context over {:?} (p ≡ {} mod 9)",
+            self.fp, self.p_mod_9
+        )
     }
 }
 
@@ -196,8 +200,7 @@ impl Fp6Context {
         // The mid half-product overlaps C0 at z³/z⁴ and C1 at z⁶/z⁷ only, so
         // the remaining coefficients are plain copies (no additions), keeping
         // the addition count in line with the paper's ~60A figure.
-        let mid: [FpElement; 5] =
-            std::array::from_fn(|k| fp.sub(&fp.add(&c0[k], &c1[k]), &c2[k]));
+        let mid: [FpElement; 5] = std::array::from_fn(|k| fp.sub(&fp.add(&c0[k], &c1[k]), &c2[k]));
         let d: [FpElement; 11] = [
             c0[0].clone(),
             c0[1].clone(),
@@ -240,7 +243,7 @@ impl Fp6Context {
     ///
     /// Panics if `window` is 0 or larger than 8.
     pub fn exp_window(&self, base: &Fp6Element, exp: &BigUint, window: usize) -> Fp6Element {
-        assert!(window >= 1 && window <= 8, "window must be in 1..=8");
+        assert!((1..=8).contains(&window), "window must be in 1..=8");
         if window == 1 {
             return self.exp(base, exp);
         }
@@ -534,10 +537,7 @@ mod tests {
         assert_eq!(f.frobenius(&n2, 2), n2);
         // Absolute norm is multiplicative.
         let b = f.random(&mut rng);
-        assert_eq!(
-            f.norm(&f.mul(&a, &b)),
-            f.fp().mul(&f.norm(&a), &f.norm(&b))
-        );
+        assert_eq!(f.norm(&f.mul(&a, &b)), f.fp().mul(&f.norm(&a), &f.norm(&b)));
     }
 
     #[test]

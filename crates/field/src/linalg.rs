@@ -109,8 +109,8 @@ impl FpMatrix {
         (0..self.rows)
             .map(|r| {
                 let mut acc = self.fp.zero();
-                for c in 0..self.cols {
-                    acc = self.fp.add(&acc, &self.fp.mul(self.get(r, c), &v[c]));
+                for (c, v_c) in v.iter().enumerate() {
+                    acc = self.fp.add(&acc, &self.fp.mul(self.get(r, c), v_c));
                 }
                 acc
             })
@@ -129,7 +129,9 @@ impl FpMatrix {
             for c in 0..other.cols {
                 let mut acc = self.fp.zero();
                 for k in 0..self.cols {
-                    acc = self.fp.add(&acc, &self.fp.mul(self.get(r, k), other.get(k, c)));
+                    acc = self
+                        .fp
+                        .add(&acc, &self.fp.mul(self.get(r, k), other.get(k, c)));
                 }
                 out.set(r, c, acc);
             }

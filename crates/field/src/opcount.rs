@@ -118,7 +118,15 @@ mod tests {
         c.record_sub();
         c.record_inv();
         let s = c.snapshot();
-        assert_eq!(s, OpCount { mul: 2, add: 1, sub: 1, inv: 1 });
+        assert_eq!(
+            s,
+            OpCount {
+                mul: 2,
+                add: 1,
+                sub: 1,
+                inv: 1
+            }
+        );
         assert_eq!(s.additions_total(), 2);
         c.reset();
         assert_eq!(c.snapshot(), OpCount::default());
@@ -126,10 +134,28 @@ mod tests {
 
     #[test]
     fn since_computes_deltas() {
-        let before = OpCount { mul: 3, add: 5, sub: 1, inv: 0 };
-        let after = OpCount { mul: 21, add: 65, sub: 2, inv: 1 };
+        let before = OpCount {
+            mul: 3,
+            add: 5,
+            sub: 1,
+            inv: 0,
+        };
+        let after = OpCount {
+            mul: 21,
+            add: 65,
+            sub: 2,
+            inv: 1,
+        };
         let delta = after.since(&before);
-        assert_eq!(delta, OpCount { mul: 18, add: 60, sub: 1, inv: 1 });
+        assert_eq!(
+            delta,
+            OpCount {
+                mul: 18,
+                add: 60,
+                sub: 1,
+                inv: 1
+            }
+        );
         assert_eq!(delta.to_string(), "18M + 60A + 1S + 1I");
     }
 

@@ -80,7 +80,7 @@ impl Coprocessor {
     }
 
     /// Reassembles a residue from datapath words.
-    fn from_words(&self, words: &[u64]) -> BigUint {
+    fn words_to_value(&self, words: &[u64]) -> BigUint {
         let w = self.cost.word_bits;
         let mut acc = BigUint::zero();
         for &word in words.iter().rev() {
@@ -97,7 +97,10 @@ impl Coprocessor {
     /// Panics if the modulus is even (Montgomery requires `gcd(p, r) = 1`,
     /// Algorithm 1) or if an operand is not reduced.
     pub fn mont_mul(&self, x: &BigUint, y: &BigUint, modulus: &BigUint) -> ModOpResult {
-        assert!(modulus.is_odd(), "Montgomery multiplication needs an odd modulus");
+        assert!(
+            modulus.is_odd(),
+            "Montgomery multiplication needs an odd modulus"
+        );
         assert!(x < modulus && y < modulus, "operands must be reduced");
         let w = self.cost.word_bits;
         let s = self.cost.limbs(modulus.bit_len());
@@ -133,10 +136,10 @@ impl Coprocessor {
         // iteration, and T is broadcast by the decoder on the instruction
         // bus.
 
-        for i in 0..s {
+        for &y_i in yw.iter().take(s) {
             // ---- Phase A (core 0, serial): compute T. -------------------
             // u = z0 + x0*yi ; T = u * p' mod r
-            let u = (z[0] as u128 + xw[0] as u128 * yw[i] as u128) & mask as u128;
+            let u = (z[0] as u128 + xw[0] as u128 * y_i as u128) & mask as u128;
             let t = ((u * n_prime as u128) & mask as u128) as u64;
             // 1 load (yi), 2 MAC, 2 AccOut-style ALU ops; T leaves on the bus.
             let phase_a_instr = 5u64;
@@ -161,7 +164,7 @@ impl Coprocessor {
                 let mut ops = 0u64;
                 for m in range.start..range.end {
                     let mut acc = z[m] as u128
-                        + xw[m] as u128 * yw[i] as u128
+                        + xw[m] as u128 * y_i as u128
                         + pw[m] as u128 * t as u128
                         + carry;
                     // The pending carry from the previous iteration re-enters
@@ -256,7 +259,7 @@ impl Coprocessor {
         }
 
         // ---- Conditional subtraction (Algorithm 1, lines 6-8). -----------
-        let mut value = self.from_words(&z);
+        let mut value = self.words_to_value(&z);
         if extra_top > 0 {
             value = &value + &BigUint::from(extra_top as u64).shl_bits(w * s);
         }
@@ -295,7 +298,11 @@ impl Coprocessor {
         let s = self.cost.limbs(modulus.bit_len());
         let sum = x + y;
         let needs_correction = sum >= *modulus;
-        let value = if needs_correction { &sum - modulus } else { sum };
+        let value = if needs_correction {
+            &sum - modulus
+        } else {
+            sum
+        };
         let (program, mem_size) = self.add_like_program(s, needs_correction);
         let report = self.run_single_core(&program, mem_size, x, y, modulus, s);
         debug_assert_eq!(report.value, value, "register-level MA diverged from host");
@@ -310,7 +317,11 @@ impl Coprocessor {
     pub fn mod_sub(&self, x: &BigUint, y: &BigUint, modulus: &BigUint) -> ModOpResult {
         assert!(x < modulus && y < modulus, "operands must be reduced");
         let needs_addback = x < y;
-        let value = if needs_addback { &(x + modulus) - y } else { x - y };
+        let value = if needs_addback {
+            &(x + modulus) - y
+        } else {
+            x - y
+        };
         let s = self.cost.limbs(modulus.bit_len());
         let (program, mem_size) = self.sub_like_program(s, needs_addback);
         let report = self.run_single_core(&program, mem_size, x, y, modulus, s);
@@ -324,19 +335,37 @@ impl Coprocessor {
         let mut p = Program::new();
         // Memory layout: [0..s) = X, [s..2s) = Y, [2s..3s) = P, [3s..4s) = Z.
         for m in 0..s {
-            p.push(MicroOp::Load { dst: 0, addr: m as u16 });
-            p.push(MicroOp::Load { dst: 1, addr: (s + m) as u16 });
+            p.push(MicroOp::Load {
+                dst: 0,
+                addr: m as u16,
+            });
+            p.push(MicroOp::Load {
+                dst: 1,
+                addr: (s + m) as u16,
+            });
             p.push(MicroOp::AccAdd { a: 0 });
             p.push(MicroOp::AccAdd { a: 1 });
             p.push(MicroOp::AccOut { dst: 2 });
-            p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+            p.push(MicroOp::Store {
+                src: 2,
+                addr: (3 * s + m) as u16,
+            });
         }
         if with_correction {
             for m in 0..s {
-                p.push(MicroOp::Load { dst: 0, addr: (3 * s + m) as u16 });
-                p.push(MicroOp::Load { dst: 1, addr: (2 * s + m) as u16 });
+                p.push(MicroOp::Load {
+                    dst: 0,
+                    addr: (3 * s + m) as u16,
+                });
+                p.push(MicroOp::Load {
+                    dst: 1,
+                    addr: (2 * s + m) as u16,
+                });
                 p.push(MicroOp::SubB { dst: 2, a: 0, b: 1 });
-                p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+                p.push(MicroOp::Store {
+                    src: 2,
+                    addr: (3 * s + m) as u16,
+                });
             }
         }
         (p, 4 * s)
@@ -347,22 +376,40 @@ impl Coprocessor {
     fn sub_like_program(&self, s: usize, with_addback: bool) -> (Program, usize) {
         let mut p = Program::new();
         for m in 0..s {
-            p.push(MicroOp::Load { dst: 0, addr: m as u16 });
-            p.push(MicroOp::Load { dst: 1, addr: (s + m) as u16 });
+            p.push(MicroOp::Load {
+                dst: 0,
+                addr: m as u16,
+            });
+            p.push(MicroOp::Load {
+                dst: 1,
+                addr: (s + m) as u16,
+            });
             p.push(MicroOp::SubB { dst: 2, a: 0, b: 1 });
-            p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+            p.push(MicroOp::Store {
+                src: 2,
+                addr: (3 * s + m) as u16,
+            });
             // The per-word borrow is made visible to the decoder, which
             // decides whether the add-back block runs.
             p.push(MicroOp::AccOut { dst: 3 });
         }
         if with_addback {
             for m in 0..s {
-                p.push(MicroOp::Load { dst: 0, addr: (3 * s + m) as u16 });
-                p.push(MicroOp::Load { dst: 1, addr: (2 * s + m) as u16 });
+                p.push(MicroOp::Load {
+                    dst: 0,
+                    addr: (3 * s + m) as u16,
+                });
+                p.push(MicroOp::Load {
+                    dst: 1,
+                    addr: (2 * s + m) as u16,
+                });
                 p.push(MicroOp::AccAdd { a: 0 });
                 p.push(MicroOp::AccAdd { a: 1 });
                 p.push(MicroOp::AccOut { dst: 2 });
-                p.push(MicroOp::Store { src: 2, addr: (3 * s + m) as u16 });
+                p.push(MicroOp::Store {
+                    src: 2,
+                    addr: (3 * s + m) as u16,
+                });
             }
         }
         (p, 4 * s)
@@ -392,7 +439,7 @@ impl Coprocessor {
         // The register-level execution leaves the result in the Z region of
         // the data memory; return it so callers can cross-check it against
         // the host arithmetic.
-        let value = self.from_words(&memory[3 * s..4 * s]);
+        let value = self.words_to_value(&memory[3 * s..4 * s]);
         ModOpResult {
             value,
             cycles,

@@ -140,8 +140,7 @@ impl SequenceEngine {
         // Type-B: a single composite instruction and a single interrupt per
         // sequence.
         if self.hierarchy == Hierarchy::TypeB {
-            report.cycles +=
-                coprocessor.cost().interrupt_cycles + coprocessor.cost().issue_cycles;
+            report.cycles += coprocessor.cost().interrupt_cycles + coprocessor.cost().issue_cycles;
             report.interrupts += 1;
             report.register_accesses += 1;
         }
@@ -177,7 +176,10 @@ mod tests {
         ];
         let report = engine.run(&cp, &p, &mut slots, &ops);
         assert_eq!(slots[2].to_u64(), Some(12));
-        assert_eq!(slots[3], bignum::mod_sub(&BigUint::from(5u64), &BigUint::from(7u64), &p));
+        assert_eq!(
+            slots[3],
+            bignum::mod_sub(&BigUint::from(5u64), &BigUint::from(7u64), &p)
+        );
         assert_eq!(slots[0].to_u64(), Some(12));
         assert_eq!(report.modadds, 1);
         assert_eq!(report.modsubs, 1);

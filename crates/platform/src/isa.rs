@@ -175,7 +175,10 @@ pub struct Core {
 impl Core {
     /// Creates a core with cleared state.
     pub fn new(word_bits: usize) -> Self {
-        assert!(word_bits > 0 && word_bits <= 32, "word width must be 1..=32");
+        assert!(
+            word_bits > 0 && word_bits <= 32,
+            "word width must be 1..=32"
+        );
         Core {
             regs: [0; NUM_REGS],
             acc: 0,
@@ -269,7 +272,10 @@ mod tests {
         assert!(MicroOp::Load { dst: 0, addr: 0 }.uses_memory());
         assert!(MicroOp::Store { src: 0, addr: 0 }.uses_memory());
         assert!(!MicroOp::MulAcc { a: 0, b: 1 }.uses_memory());
-        assert_eq!(MicroOp::MulAcc { a: 0, b: 1 }.cycles(&cost), cost.mac_cycles);
+        assert_eq!(
+            MicroOp::MulAcc { a: 0, b: 1 }.cycles(&cost),
+            cost.mac_cycles
+        );
         assert_eq!(MicroOp::AccOut { dst: 0 }.cycles(&cost), cost.alu_cycles);
     }
 
@@ -284,7 +290,10 @@ mod tests {
         assert_eq!(p.len(), 4);
         assert_eq!(p.memory_accesses(), 2);
         let cost = CostModel::paper();
-        assert_eq!(p.cycles(&cost), 2 * cost.mem_cycles + cost.mac_cycles + cost.alu_cycles);
+        assert_eq!(
+            p.cycles(&cost),
+            2 * cost.mem_cycles + cost.mac_cycles + cost.alu_cycles
+        );
         assert!(p.listing().contains("mac"));
     }
 
@@ -307,7 +316,13 @@ mod tests {
         // 0xFFFF * 0xFFFF = 0xFFFE0001 -> low word 0x0001, next word 0xFFFE.
         let mut core = Core::new(16);
         let mut mem = vec![0u64; 1];
-        core.step(MicroOp::LoadImm { dst: 0, imm: 0xFFFF }, &mut mem);
+        core.step(
+            MicroOp::LoadImm {
+                dst: 0,
+                imm: 0xFFFF,
+            },
+            &mut mem,
+        );
         core.step(MicroOp::MulAcc { a: 0, b: 0 }, &mut mem);
         core.step(MicroOp::AccOut { dst: 1 }, &mut mem);
         core.step(MicroOp::AccOut { dst: 2 }, &mut mem);
@@ -320,10 +335,34 @@ mod tests {
         // Compute the two-word subtraction 0x0001_0000 - 0x0000_0001.
         let mut core = Core::new(16);
         let mut mem = vec![0u64; 1];
-        core.step(MicroOp::LoadImm { dst: 0, imm: 0x0000 }, &mut mem); // low(a)
-        core.step(MicroOp::LoadImm { dst: 1, imm: 0x0001 }, &mut mem); // high(a)
-        core.step(MicroOp::LoadImm { dst: 2, imm: 0x0001 }, &mut mem); // low(b)
-        core.step(MicroOp::LoadImm { dst: 3, imm: 0x0000 }, &mut mem); // high(b)
+        core.step(
+            MicroOp::LoadImm {
+                dst: 0,
+                imm: 0x0000,
+            },
+            &mut mem,
+        ); // low(a)
+        core.step(
+            MicroOp::LoadImm {
+                dst: 1,
+                imm: 0x0001,
+            },
+            &mut mem,
+        ); // high(a)
+        core.step(
+            MicroOp::LoadImm {
+                dst: 2,
+                imm: 0x0001,
+            },
+            &mut mem,
+        ); // low(b)
+        core.step(
+            MicroOp::LoadImm {
+                dst: 3,
+                imm: 0x0000,
+            },
+            &mut mem,
+        ); // high(b)
         core.step(MicroOp::SubB { dst: 4, a: 0, b: 2 }, &mut mem);
         core.step(MicroOp::SubB { dst: 5, a: 1, b: 3 }, &mut mem);
         assert_eq!(core.reg(4), 0xFFFF);

@@ -8,7 +8,9 @@ use field::{Fp6Context, Fp6Element};
 use crate::coprocessor::Coprocessor;
 use crate::cost::CostModel;
 use crate::hierarchy::{Hierarchy, SequenceEngine, SequenceOp};
-use crate::programs::{ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, ECC_SLOTS, FP6_MUL_SLOTS};
+use crate::programs::{
+    ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, ECC_SLOTS, FP6_MUL_SLOTS,
+};
 use crate::report::ExecutionReport;
 
 /// The complete platform: MicroBlaze controller + multicore coprocessor.
@@ -102,9 +104,9 @@ impl Platform {
     }
 
     /// Converts a platform-domain value back to a plain residue.
-    fn from_domain(&self, v: &BigUint, modulus: &BigUint) -> BigUint {
-        let r_inv = mod_inv(&self.platform_r(modulus), modulus)
-            .expect("R is invertible for odd moduli");
+    fn leave_domain(&self, v: &BigUint, modulus: &BigUint) -> BigUint {
+        let r_inv =
+            mod_inv(&self.platform_r(modulus), modulus).expect("R is invertible for odd moduli");
         mod_mul(v, &r_inv, modulus)
     }
 
@@ -127,10 +129,12 @@ impl Platform {
             slots[6 + i] = self.to_domain(&fp6.fp().to_biguint(&b.coeffs()[i]), &modulus);
         }
         let ops = fp6_mul_sequence();
-        let report = self.engine.run(&self.coprocessor, &modulus, &mut slots, &ops);
+        let report = self
+            .engine
+            .run(&self.coprocessor, &modulus, &mut slots, &ops);
         let coeffs: [field::FpElement; 6] = std::array::from_fn(|i| {
             fp6.fp()
-                .from_biguint(&self.from_domain(&slots[12 + i], &modulus))
+                .from_biguint(&self.leave_domain(&slots[12 + i], &modulus))
         });
         (fp6.from_coeffs(coeffs), report)
     }
@@ -158,7 +162,8 @@ impl Platform {
         let mut slots: Vec<BigUint> = (0..nslots)
             .map(|i| BigUint::from((i % 251 + 1) as u64))
             .collect();
-        self.engine.run(&self.coprocessor, &modulus, &mut slots, ops)
+        self.engine
+            .run(&self.coprocessor, &modulus, &mut slots, ops)
     }
 
     /// Executes one Jacobian point addition on the platform.
@@ -178,9 +183,15 @@ impl Platform {
             .engine
             .run(&self.coprocessor, &modulus, &mut slots, &ecc_pa_sequence());
         let out = JacobianPoint {
-            x: curve.fp().from_biguint(&self.from_domain(&slots[6], &modulus)),
-            y: curve.fp().from_biguint(&self.from_domain(&slots[7], &modulus)),
-            z: curve.fp().from_biguint(&self.from_domain(&slots[8], &modulus)),
+            x: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[6], &modulus)),
+            y: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[7], &modulus)),
+            z: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[8], &modulus)),
         };
         (out, report)
     }
@@ -201,9 +212,15 @@ impl Platform {
             .engine
             .run(&self.coprocessor, &modulus, &mut slots, &ecc_pd_sequence());
         let out = JacobianPoint {
-            x: curve.fp().from_biguint(&self.from_domain(&slots[3], &modulus)),
-            y: curve.fp().from_biguint(&self.from_domain(&slots[4], &modulus)),
-            z: curve.fp().from_biguint(&self.from_domain(&slots[5], &modulus)),
+            x: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[3], &modulus)),
+            y: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[4], &modulus)),
+            z: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[5], &modulus)),
         };
         (out, report)
     }
@@ -308,7 +325,7 @@ impl Platform {
                 acc = mm(&acc.clone(), &base_dom, &mut report);
             }
         }
-        (self.from_domain(&acc, modulus), report)
+        (self.leave_domain(&acc, modulus), report)
     }
 }
 
@@ -429,8 +446,7 @@ mod tests {
         let t6_mult = plat.fp6_multiplication_report(170).cycles;
         let pa = plat.ecc_point_addition_report(160).cycles;
         let pd = plat.ecc_point_doubling_report(160).cycles;
-        let mm1024 = plat.montgomery_multiplication_report(1024).cycles
-            + plat.interrupt_cycles();
+        let mm1024 = plat.montgomery_multiplication_report(1024).cycles + plat.interrupt_cycles();
 
         // Scale to full operations as in the paper: a 170-bit torus
         // exponentiation ≈ 170 squarings + 85 multiplications, a 160-bit

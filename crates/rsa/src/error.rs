@@ -31,7 +31,10 @@ impl fmt::Display for RsaError {
         match self {
             RsaError::KeyTooSmall(bits) => write!(f, "key size {bits} bits is too small"),
             RsaError::MessageTooLong { capacity, got } => {
-                write!(f, "message of {got} bytes exceeds capacity of {capacity} bytes")
+                write!(
+                    f,
+                    "message of {got} bytes exceeds capacity of {capacity} bytes"
+                )
             }
             RsaError::ValueOutOfRange => write!(f, "value is not a canonical residue"),
             RsaError::InvalidPadding => write!(f, "invalid padding"),
@@ -50,10 +53,15 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(RsaError::KeyTooSmall(64).to_string().contains("64"));
-        assert!(RsaError::MessageTooLong { capacity: 100, got: 200 }
-            .to_string()
-            .contains("200"));
+        assert!(RsaError::MessageTooLong {
+            capacity: 100,
+            got: 200
+        }
+        .to_string()
+        .contains("200"));
         assert!(RsaError::InvalidPadding.to_string().contains("padding"));
-        assert!(RsaError::VerificationFailed.to_string().contains("verification"));
+        assert!(RsaError::VerificationFailed
+            .to_string()
+            .contains("verification"));
     }
 }

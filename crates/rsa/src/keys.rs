@@ -88,7 +88,9 @@ impl RsaPublicKey {
     /// Returns [`RsaError::VerificationFailed`] if the signature is invalid.
     pub fn verify(&self, digest: &[u8], signature: &[u8]) -> Result<(), RsaError> {
         let s = BigUint::from_be_bytes(signature);
-        let m = self.raw_encrypt(&s).map_err(|_| RsaError::VerificationFailed)?;
+        let m = self
+            .raw_encrypt(&s)
+            .map_err(|_| RsaError::VerificationFailed)?;
         let block = to_fixed_bytes(&m, self.byte_len());
         let recovered = unpad_sign(&block).map_err(|_| RsaError::VerificationFailed)?;
         if recovered == digest {
@@ -300,10 +302,14 @@ mod tests {
             kp.public().raw_encrypt(&too_big).unwrap_err(),
             RsaError::ValueOutOfRange
         );
-        assert_eq!(kp.raw_decrypt(&too_big).unwrap_err(), RsaError::ValueOutOfRange);
+        assert_eq!(
+            kp.raw_decrypt(&too_big).unwrap_err(),
+            RsaError::ValueOutOfRange
+        );
         let huge_msg = vec![1u8; 200];
         assert!(matches!(
-            kp.public().encrypt(&huge_msg, &mut rand::rngs::StdRng::seed_from_u64(1)),
+            kp.public()
+                .encrypt(&huge_msg, &mut rand::rngs::StdRng::seed_from_u64(1)),
             Err(RsaError::MessageTooLong { .. })
         ));
     }

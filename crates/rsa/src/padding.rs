@@ -145,8 +145,14 @@ mod tests {
 
     #[test]
     fn malformed_blocks_are_rejected() {
-        assert_eq!(unpad_encrypt(&[0x00, 0x01, 0xFF]), Err(RsaError::InvalidPadding));
-        assert_eq!(unpad_sign(&[0x00, 0x02, 0xFF]), Err(RsaError::InvalidPadding));
+        assert_eq!(
+            unpad_encrypt(&[0x00, 0x01, 0xFF]),
+            Err(RsaError::InvalidPadding)
+        );
+        assert_eq!(
+            unpad_sign(&[0x00, 0x02, 0xFF]),
+            Err(RsaError::InvalidPadding)
+        );
         // No zero separator.
         let block = vec![0x00, 0x02, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
         assert_eq!(unpad_encrypt(&block), Err(RsaError::InvalidPadding));
@@ -155,7 +161,9 @@ mod tests {
         block.extend_from_slice(&[9; 20]);
         assert_eq!(unpad_encrypt(&block), Err(RsaError::InvalidPadding));
         // Signature block without terminating zero.
-        let block = vec![0x00, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF];
+        let block = vec![
+            0x00, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+        ];
         assert_eq!(unpad_sign(&block), Err(RsaError::InvalidPadding));
     }
 }

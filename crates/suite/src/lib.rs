@@ -24,9 +24,7 @@ pub use rsa_torus;
 /// Commonly used items across the reproduction.
 pub mod prelude {
     pub use bignum::{BigUint, MontgomeryParams};
-    pub use ceilidh::{
-        compress, decompress, shared_secret, CeilidhParams, KeyPair, TorusElement,
-    };
+    pub use ceilidh::{compress, decompress, shared_secret, CeilidhParams, KeyPair, TorusElement};
     pub use ecc::{scalar_mul, Curve, EccKeyPair, ScalarMulAlgorithm};
     pub use field::{Fp6Context, FpContext};
     pub use platform::{CostModel, Hierarchy, Platform};

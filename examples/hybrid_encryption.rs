@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let recovered = decrypt_hybrid(&params, bob.secret(), &ciphertext)?;
     assert_eq!(recovered, message);
     verify(&params, alice.public(), &recovered, &signature)?;
-    println!("decrypted and verified: \"{}...\"", String::from_utf8_lossy(&recovered[..40]));
+    println!(
+        "decrypted and verified: \"{}...\"",
+        String::from_utf8_lossy(&recovered[..40])
+    );
 
     // Tampering is detected.
     let mut forged = recovered.clone();

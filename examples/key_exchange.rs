@@ -42,9 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k2 = curve.shared_secret(e_bob.secret(), e_alice.public())?;
     assert_eq!(k1, k2);
     let (x, _) = curve.compress_point(e_bob.public())?;
-    println!("  transmitted public key: {} bytes (compressed point)", x.to_be_bytes().len() + 1);
-    let (_, report) =
-        plat.ecc_scalar_multiplication(&curve, e_bob.public(), e_alice.secret());
+    println!(
+        "  transmitted public key: {} bytes (compressed point)",
+        x.to_be_bytes().len() + 1
+    );
+    let (_, report) = plat.ecc_scalar_multiplication(&curve, e_bob.public(), e_alice.secret());
     println!(
         "  simulated scalar multiplication: {} cycles = {:.1} ms",
         report.cycles,
@@ -56,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session_key = BigUint::random_bits(&mut rng, 128);
     let ct = keys.public().raw_encrypt(&session_key)?;
     assert_eq!(keys.raw_decrypt(&ct)?, session_key);
-    println!("  transmitted ciphertext: {} bytes", keys.public().byte_len());
+    println!(
+        "  transmitted ciphertext: {} bytes",
+        keys.public().byte_len()
+    );
     let (_, report) =
         plat.rsa_exponentiation(keys.public().modulus(), &ct, keys.private_exponent());
     println!(

@@ -8,16 +8,22 @@ use bignum::BigUint;
 use ceilidh::CeilidhParams;
 use platform::isa::{Core, MicroOp, Program};
 use platform::{
-    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence,
-    Coprocessor, CostModel, Hierarchy, Platform,
+    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, Coprocessor,
+    CostModel, Hierarchy, Platform,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Level 3: a microinstruction program on a single core. ------------
     println!("== level 3: core microcode (7-instruction ISA) ==");
     let mut program = Program::new();
-    program.push(MicroOp::LoadImm { dst: 0, imm: 0x1234 });
-    program.push(MicroOp::LoadImm { dst: 1, imm: 0x5678 });
+    program.push(MicroOp::LoadImm {
+        dst: 0,
+        imm: 0x1234,
+    });
+    program.push(MicroOp::LoadImm {
+        dst: 1,
+        imm: 0x5678,
+    });
     program.push(MicroOp::MulAcc { a: 0, b: 1 });
     program.push(MicroOp::AccOut { dst: 2 });
     program.push(MicroOp::AccOut { dst: 3 });
@@ -64,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CeilidhParams::toy()?;
     let mut rng = rand::thread_rng();
     let (_, base) = params.random_subgroup_element(&mut rng);
-    let exponent = BigUint::from(0b1011_0110_1u64);
+    let exponent = BigUint::from(0b1_0110_1101_u64);
     for hierarchy in [Hierarchy::TypeA, Hierarchy::TypeB] {
         let plat = Platform::new(CostModel::paper(), 4, hierarchy);
         let (value, report) = plat.torus_exponentiation(&params, &base, &exponent);

@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alice_compressed = alice.public().compress(&params)?;
     let wire_bytes = alice_compressed.byte_len(params.p().bit_len());
     let uncompressed_bytes = 6 * params.p().bit_len().div_ceil(8);
-    println!("public key on the wire: {wire_bytes} bytes (uncompressed Fp6: {uncompressed_bytes} bytes)");
+    println!(
+        "public key on the wire: {wire_bytes} bytes (uncompressed Fp6: {uncompressed_bytes} bytes)"
+    );
 
     // Bob decompresses Alice's key and both derive the shared secret.
     let alice_restored = decompress(&params, &alice_compressed)?;
@@ -33,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k_ab = shared_secret_bytes(&params, alice.secret(), bob.public(), 32);
     let k_ba = shared_secret_bytes(&params, bob.secret(), alice.public(), 32);
     assert_eq!(k_ab, k_ba);
-    println!("shared secret established: {} bytes, first byte {:#04x}", k_ab.len(), k_ab[0]);
+    println!(
+        "shared secret established: {} bytes, first byte {:#04x}",
+        k_ab.len(),
+        k_ab[0]
+    );
 
     // Round-trip the compression explicitly as well.
     let c = compress(&params, bob.public().element())?;

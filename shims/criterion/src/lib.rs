@@ -1,0 +1,314 @@
+//! Minimal, API-compatible shim for the subset of `criterion` that this
+//! workspace uses (see `shims/README.md`).
+//!
+//! It times closures with `std::time::Instant`, prints mean/min/max per
+//! benchmark, and understands just enough of the harness protocol that
+//! `cargo bench` and `cargo test --benches` both work:
+//!
+//! * `--test` (passed by `cargo test --benches`) runs every benchmark body
+//!   exactly once, without timing.
+//! * `CRITERION_FAST=1` shrinks sample counts and measurement time to a
+//!   smoke-test budget (used by CI so the bench suite can't silently rot).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque barrier preventing the optimiser from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+    fast_mode: bool,
+    filter: Option<String>,
+}
+
+impl Config {
+    fn from_env() -> Config {
+        // cargo bench/test pass harness flags (--bench, --test) plus an
+        // optional positional filter; ignore everything else. Like upstream
+        // criterion, measure only when invoked through `cargo bench` (which
+        // passes `--bench`); under `cargo test --benches` each body runs
+        // once, untimed.
+        let mut test_mode = false;
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => bench_mode = true,
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        let test_mode = test_mode || !bench_mode;
+        let fast_mode = std::env::var_os("CRITERION_FAST").is_some_and(|v| v != "0");
+        Config {
+            sample_size: if fast_mode { 10 } else { 100 },
+            measurement_time: if fast_mode {
+                Duration::from_millis(100)
+            } else {
+                Duration::from_secs(5)
+            },
+            test_mode,
+            fast_mode,
+            filter,
+        }
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.fast_mode {
+            self.sample_size.min(10)
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn effective_measurement_time(&self) -> Duration {
+        if self.fast_mode {
+            self.measurement_time.min(Duration::from_millis(100))
+        } else {
+            self.measurement_time
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f`, reporting under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.config, &id.into(), f);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing tuned settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            config,
+        }
+    }
+}
+
+/// A group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the target wall-clock budget for each benchmark's measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f`, reporting under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&self.config, &id, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times the routine under benchmark.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples_ns: Vec<f64>,
+    executed: bool,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.executed = true;
+        if self.config.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up and per-iteration estimate: run for ~1/10 of the budget.
+        let warmup_budget = self.config.effective_measurement_time() / 10;
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget || warmup_iters == 0 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Spread the remaining budget over `sample_size` samples.
+        let sample_size = self.config.effective_sample_size();
+        let budget = self.config.effective_measurement_time().as_secs_f64() * 0.9;
+        let iters_per_sample =
+            ((budget / sample_size as f64 / est_iter.max(1e-9)).round() as u64).max(1);
+
+        self.samples_ns.reserve(sample_size);
+        for _ in 0..sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(config: &Config, id: &str, mut f: F) {
+    if let Some(filter) = &config.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        config,
+        samples_ns: Vec::new(),
+        executed: false,
+    };
+    f(&mut bencher);
+    assert!(
+        bencher.executed,
+        "benchmark `{id}` never called Bencher::iter"
+    );
+    if config.test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    let s = &bencher.samples_ns;
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a function running each target against a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given `criterion_group!` groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Config {
+        Config {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(20),
+            test_mode: false,
+            fast_mode: true,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let config = fast_config();
+        let mut b = Bencher {
+            config: &config,
+            samples_ns: Vec::new(),
+            executed: false,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        assert!(b.executed);
+        assert!(!b.samples_ns.is_empty());
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut config = fast_config();
+        config.test_mode = true;
+        let mut b = Bencher {
+            config: &config,
+            samples_ns: Vec::new(),
+            executed: false,
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2_000_000_000.0).ends_with(" s"));
+    }
+}

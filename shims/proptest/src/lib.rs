@@ -1,0 +1,424 @@
+//! Minimal, API-compatible shim for the subset of `proptest` that this
+//! workspace uses (see `shims/README.md`).
+//!
+//! Differences from upstream worth knowing about:
+//!
+//! * No shrinking: a failing case reports the generated inputs (via the
+//!   assertion message) but does not minimise them.
+//! * Deterministic: the RNG seed is derived from the test-function name, so
+//!   a CI failure reproduces locally. Set `PROPTEST_SEED=<u64>` to override.
+//! * `prop_assume!` counts the skipped case as passed instead of drawing a
+//!   replacement case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` generated cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The RNG driving generation.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Builds the RNG for one property test, seeded from the test name (or
+    /// `PROPTEST_SEED` when set) so failures are reproducible.
+    pub fn new_rng(test_name: &str) -> TestRng {
+        use rand::SeedableRng;
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .trim()
+                .parse::<u64>()
+                .expect("PROPTEST_SEED must be a u64"),
+            // FNV-1a over the test name.
+            Err(_) => test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            }),
+        };
+        TestRng::seed_from_u64(seed)
+    }
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Returns the canonical strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Strategy generating uniformly random primitive values.
+    #[derive(Debug)]
+    pub struct AnyPrimitive<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyPrimitive<T> {
+        fn clone(&self) -> Self {
+            AnyPrimitive(PhantomData)
+        }
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    <$t as rand::Random>::random(rng)
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(PhantomData)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_prim!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+    );
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rand::Rng::gen_range(rng, self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies, mirroring `proptest::array`.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `[S::Value; N]` from independent draws of `S`.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),*) => {$(
+            /// Generates arrays from independent draws of `strategy`.
+            pub fn $name<S: Strategy>(strategy: S) -> UniformArray<S, $n> {
+                UniformArray(strategy)
+            }
+        )*};
+    }
+    uniform_fns!(
+        uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+        uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8
+    );
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left != *right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `left != right` (both `{:?}`)",
+                left
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold. Unlike
+/// upstream, the skipped case counts as passed rather than being redrawn.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::new_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message
+                    );
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Entry point for `prop::collection::...` / `prop::array::...` paths.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0usize..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn map_and_collections_compose(
+            v in prop::collection::vec(any::<u8>(), 0..=16),
+            arr in prop::array::uniform6(0u64..101),
+            mut w in (1u32..5).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(v.len() <= 16);
+            prop_assert!(arr.iter().all(|&c| c < 101));
+            w += 1;
+            prop_assert!(w % 2 == 1 && w < 10);
+            prop_assert_eq!(arr.len(), 6);
+            prop_assert_ne!(w, 0);
+        }
+
+        #[test]
+        fn assume_skips_case(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(b in any::<bool>()) {
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::new_rng("mod::case");
+        let mut b = crate::test_runner::new_rng("mod::case");
+        let s = 0u64..1_000_000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -3,8 +3,8 @@
 
 use bignum::BigUint;
 use ceilidh::{
-    compress, decompress, decrypt_hybrid, encrypt_hybrid, shared_secret, shared_secret_bytes,
-    sign, verify, CeilidhParams, KeyPair,
+    compress, decompress, decrypt_hybrid, encrypt_hybrid, shared_secret, shared_secret_bytes, sign,
+    verify, CeilidhParams, KeyPair,
 };
 use ecc::{scalar_mul, Curve, EccKeyPair, ScalarMulAlgorithm};
 use platform::{CostModel, Hierarchy, Platform};
@@ -28,12 +28,18 @@ fn ceilidh_full_protocol_on_paper_parameters() {
 
     // Compressed public keys round-trip at the 170-bit size.
     let c = alice.public().compress(&params).expect("compressible");
-    assert_eq!(&decompress(&params, &c).expect("valid"), alice.public().element());
+    assert_eq!(
+        &decompress(&params, &c).expect("valid"),
+        alice.public().element()
+    );
 
     // Hybrid encryption + signature.
     let msg = b"reproduction of the DATE 2008 torus cryptosystem";
     let ct = encrypt_hybrid(&params, bob.public(), msg, &mut rng).expect("encrypt");
-    assert_eq!(decrypt_hybrid(&params, bob.secret(), &ct).expect("decrypt"), msg);
+    assert_eq!(
+        decrypt_hybrid(&params, bob.secret(), &ct).expect("decrypt"),
+        msg
+    );
     let sig = sign(&params, alice.secret(), msg, &mut rng).expect("sign");
     assert!(verify(&params, alice.public(), msg, &sig).is_ok());
     assert!(verify(&params, bob.public(), msg, &sig).is_err());

@@ -20,7 +20,10 @@ fn table1_shape() {
     assert!(mm160 < mm170);
     assert!(ma170 < mm170 && ms170 < mm170);
     let big_ratio = mm1024 as f64 / mm170 as f64;
-    assert!((10.0..40.0).contains(&big_ratio), "paper reports ≈23x, got {big_ratio:.1}x");
+    assert!(
+        (10.0..40.0).contains(&big_ratio),
+        "paper reports ≈23x, got {big_ratio:.1}x"
+    );
     assert_eq!(plat.interrupt_cycles(), 184);
 }
 
@@ -29,9 +32,18 @@ fn table2_shape() {
     let a = Platform::new(CostModel::paper(), 4, Hierarchy::TypeA);
     let b = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
     let pairs = [
-        (a.fp6_multiplication_report(170), b.fp6_multiplication_report(170)),
-        (a.ecc_point_addition_report(160), b.ecc_point_addition_report(160)),
-        (a.ecc_point_doubling_report(160), b.ecc_point_doubling_report(160)),
+        (
+            a.fp6_multiplication_report(170),
+            b.fp6_multiplication_report(170),
+        ),
+        (
+            a.ecc_point_addition_report(160),
+            b.ecc_point_addition_report(160),
+        ),
+        (
+            a.ecc_point_doubling_report(160),
+            b.ecc_point_doubling_report(160),
+        ),
     ];
     for (ra, rb) in pairs {
         assert!(ra.cycles > rb.cycles, "Type-B must always win");
@@ -83,7 +95,10 @@ fn fig5_multicore_scaling_shape() {
     let c4 = Coprocessor::new(CostModel::paper(), 4).mont_mul_cycles(256);
     assert!(c1 > c2 && c2 > c4);
     let speedup = c1 as f64 / c4 as f64;
-    assert!((1.8..4.0).contains(&speedup), "paper: 2.96x, got {speedup:.2}x");
+    assert!(
+        (1.8..4.0).contains(&speedup),
+        "paper: 2.96x, got {speedup:.2}x"
+    );
 }
 
 proptest! {

@@ -9,7 +9,8 @@ use proptest::prelude::*;
 
 /// Strategy: arbitrary big integers up to `max_bytes` bytes.
 fn biguint(max_bytes: usize) -> impl Strategy<Value = BigUint> {
-    prop::collection::vec(any::<u8>(), 0..=max_bytes).prop_map(|bytes| BigUint::from_be_bytes(&bytes))
+    prop::collection::vec(any::<u8>(), 0..=max_bytes)
+        .prop_map(|bytes| BigUint::from_be_bytes(&bytes))
 }
 
 proptest! {
