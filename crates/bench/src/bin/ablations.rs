@@ -1,5 +1,7 @@
 //! Ablation studies called out in DESIGN.md:
 //!
+//! * schedule-model ablation — the pipelined stage schedule against the
+//!   flat sequential baseline, across operand lengths and MAC depths;
 //! * interrupt-cost sweep — where the Type-A bottleneck comes from and when
 //!   the two hierarchies cross over;
 //! * exponentiation window size for the torus;
@@ -7,17 +9,64 @@
 //! * the paper's future-work items (faster modular adders, overlap between
 //!   modular operations), modelled as cost-model what-ifs.
 
-use bench::{print_table, Row};
+use bench::{paper, print_table, Row};
 use bignum::BigUint;
 use ceilidh::CeilidhParams;
 use platform::{Coprocessor, CostModel, Hierarchy, Platform};
 use rand::SeedableRng;
 
 fn main() {
+    schedule_sweep();
     interrupt_sweep();
     window_sweep();
     core_sweep_rsa();
     future_work();
+}
+
+fn schedule_sweep() {
+    // The headline fidelity ablation: the same microcode, accounted flat
+    // (every event sequential) versus through the pipelined stage model.
+    let mut rows = Vec::new();
+    for (bits, paper_cycles) in [
+        (160usize, paper::MM_160),
+        (170, paper::MM_170),
+        (256, 0),
+        (1024, paper::MM_1024),
+    ] {
+        let seq = Coprocessor::new(CostModel::paper_sequential(), 4).mont_mul_cycles(bits);
+        let pip = Coprocessor::new(CostModel::paper(), 4).mont_mul_cycles(bits);
+        rows.push(Row {
+            label: format!("{bits}-bit MM: sequential {seq}, pipelined {pip}"),
+            paper: if paper_cycles > 0 {
+                format!("{paper_cycles}")
+            } else {
+                "-".into()
+            },
+            measured: format!("{:.2}x overlap win", seq as f64 / pip as f64),
+        });
+    }
+    // MAC pipeline depth: deeper pipelines stretch the dependent
+    // T-computation chain without helping throughput-bound phases.
+    for depth in [1u64, 2, 4, 8] {
+        let cost = CostModel {
+            mac_pipeline_depth: depth,
+            ..CostModel::paper()
+        };
+        let pip = Coprocessor::new(cost, 4).mont_mul_cycles(170);
+        rows.push(Row {
+            label: format!("170-bit MM, MAC pipeline depth {depth}"),
+            paper: if depth == CostModel::paper().mac_pipeline_depth {
+                format!("{}", paper::MM_170)
+            } else {
+                "-".into()
+            },
+            measured: format!("{pip} cycles"),
+        });
+    }
+    print_table(
+        "Ablation: schedule model (sequential baseline vs pipelined stages)",
+        &rows,
+    );
 }
 
 fn interrupt_sweep() {

@@ -1,0 +1,125 @@
+//! Cycle-accuracy regression gate for CI.
+//!
+//! Diffs the simulated cycle counts (either recomputed, or read from a
+//! `BENCH_report.json` emitted by the `report` binary) against the
+//! checked-in golden file `crates/bench/golden/cycles.json`, failing the
+//! build when any metric drifts by more than the tolerance (default ±2%).
+//! Calibration changes are legitimate — but they must be acknowledged by
+//! regenerating the golden file with `--write-golden`, which shows up in
+//! review.
+//!
+//! Usage:
+//!
+//! ```text
+//! cycle_gate                      # recompute metrics, diff against golden
+//! cycle_gate --report FILE.json   # diff an emitted report against golden
+//! cycle_gate --write-golden       # regenerate the golden file
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::{json, metrics};
+
+/// Relative drift allowed before the gate fails, in percent.
+const DEFAULT_TOLERANCE_PCT: f64 = 2.0;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("cycles.json")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let golden = golden_path();
+
+    if args.iter().any(|a| a == "--write-golden") {
+        let text = json::write_object(&metrics::collect());
+        std::fs::create_dir_all(golden.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&golden, text).expect("write golden file");
+        println!("wrote {}", golden.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let measured = match args.iter().position(|a| a == "--report") {
+        Some(i) => {
+            let path = args.get(i + 1).expect("--report needs a file argument");
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read report {path}: {e}"));
+            json::parse_object(&text).expect("malformed report JSON")
+        }
+        None => metrics::collect(),
+    };
+
+    let golden_text = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run `cargo run -p bench --bin cycle_gate -- \
+             --write-golden` to create it",
+            golden.display()
+        )
+    });
+    let expected = json::parse_object(&golden_text).expect("malformed golden JSON");
+
+    let tolerance_pct = std::env::var("CYCLE_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TOLERANCE_PCT);
+
+    let mut failures = Vec::new();
+    println!(
+        "{:<26} {:>10} {:>10} {:>9}   (tolerance ±{tolerance_pct}%)",
+        "metric", "golden", "measured", "drift"
+    );
+    for (name, want) in &expected {
+        match measured.iter().find(|(k, _)| k == name) {
+            None => failures.push(format!("metric {name} missing from measurement")),
+            Some((_, got)) => {
+                let drift_pct = if *want == 0 {
+                    if *got == 0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    100.0 * (*got as f64 - *want as f64) / *want as f64
+                };
+                let ok = drift_pct.abs() <= tolerance_pct;
+                println!(
+                    "{name:<26} {want:>10} {got:>10} {drift_pct:>+8.2}% {}",
+                    if ok { "" } else { " <-- FAIL" }
+                );
+                if !ok {
+                    failures.push(format!(
+                        "{name}: golden {want}, measured {got} ({drift_pct:+.2}%)"
+                    ));
+                }
+            }
+        }
+    }
+    for (name, _) in &measured {
+        if !expected.iter().any(|(k, _)| k == name) {
+            failures.push(format!(
+                "metric {name} not in golden file — regenerate with --write-golden"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\ncycle-accuracy gate: all {} metrics within tolerance",
+            expected.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\ncycle-accuracy gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        eprintln!(
+            "If the calibration change is intentional, regenerate the golden file:\n  \
+             cargo run -p bench --bin cycle_gate -- --write-golden"
+        );
+        ExitCode::FAILURE
+    }
+}

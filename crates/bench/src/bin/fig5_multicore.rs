@@ -31,6 +31,9 @@ fn main() {
     println!("\nAlso swept for the torus operand length (170-bit):");
     for cores in [1usize, 2, 4] {
         let cycles = Coprocessor::new(CostModel::paper(), cores).mont_mul_cycles(170);
-        println!("  170-bit MM on {cores} core(s): {cycles} cycles");
+        let seq = Coprocessor::new(CostModel::paper_sequential(), cores).mont_mul_cycles(170);
+        println!(
+            "  170-bit MM on {cores} core(s): {cycles} cycles pipelined, {seq} sequential baseline"
+        );
     }
 }

@@ -1,7 +1,11 @@
 //! Prints the derived claims of the paper's running text in one place
 //! (the per-table binaries print the full tables).
+//!
+//! With `BENCH_REPORT_JSON=<path>` set, additionally emits the gated cycle
+//! metrics as flat JSON — CI diffs that file against
+//! `crates/bench/golden/cycles.json` via the `cycle_gate` binary.
 
-use bench::{paper, print_table, Row};
+use bench::{metrics, paper, print_table, Row};
 use platform::{Coprocessor, CostModel, Hierarchy, Platform};
 
 fn main() {
@@ -25,8 +29,19 @@ fn main() {
 
     let mc1 = Coprocessor::new(CostModel::paper(), 1).mont_mul_cycles(256);
     let mc4 = Coprocessor::new(CostModel::paper(), 4).mont_mul_cycles(256);
+    let mm170_seq = Coprocessor::new(CostModel::paper_sequential(), 4).mont_mul_cycles(170);
 
     let rows = vec![
+        Row::cycles(
+            "170-bit MM, pipelined schedule (Table 1)",
+            paper::MM_170,
+            mm170,
+        ),
+        Row::cycles(
+            "170-bit MM, sequential baseline (ablation)",
+            paper::MM_170,
+            mm170_seq,
+        ),
         Row::ratio(
             "1024-bit MM vs 170-bit MM (Table 1)",
             paper::MM_1024 as f64 / paper::MM_170 as f64,
@@ -75,4 +90,10 @@ fn main() {
         ),
     ];
     print_table("Derived claims: paper vs reproduction", &rows);
+
+    if let Ok(path) = std::env::var("BENCH_REPORT_JSON") {
+        let text = bench::json::write_object(&metrics::collect());
+        std::fs::write(&path, text).expect("write BENCH_REPORT_JSON");
+        println!("\nwrote gated cycle metrics to {path}");
+    }
 }

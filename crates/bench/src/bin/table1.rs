@@ -5,6 +5,7 @@ use platform::{CostModel, Hierarchy, Platform};
 
 fn main() {
     let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    let seq = Platform::new(CostModel::paper_sequential(), 4, Hierarchy::TypeB);
     let rows = vec![
         Row::cycles(
             "Interrupt handling",
@@ -51,6 +52,11 @@ fn main() {
             paper::MM_1024 as f64 / paper::MM_170 as f64,
             plat.montgomery_multiplication_report(1024).cycles as f64
                 / plat.montgomery_multiplication_report(170).cycles as f64,
+        ),
+        Row::cycles(
+            "170-bit MM (sequential baseline)",
+            paper::MM_170,
+            seq.montgomery_multiplication_report(170).cycles,
         ),
     ];
     print_table("Table 1: cycles per modular operation", &rows);

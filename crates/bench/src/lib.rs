@@ -55,6 +55,118 @@ pub mod paper {
     pub const MULTICORE_SPEEDUP_4: f64 = 2.96;
 }
 
+/// Minimal flat-JSON plumbing for the cycle-accuracy gate (the build
+/// environment has no serde; the golden file is a single `{"name": count}`
+/// object of unsigned integers).
+pub mod json {
+    /// Renders `pairs` as a pretty-printed flat JSON object.
+    pub fn write_object(pairs: &[(String, u64)]) -> String {
+        let body = pairs
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{body}\n}}\n")
+    }
+
+    /// Parses a flat `{"name": count}` JSON object (string keys, unsigned
+    /// integer values, no nesting).
+    pub fn parse_object(text: &str) -> Result<Vec<(String, u64)>, String> {
+        let inner = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| "expected a top-level JSON object".to_string())?;
+        let mut pairs = Vec::new();
+        for entry in inner.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("malformed entry: {entry:?}"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted key in entry: {entry:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad value for {key:?}: {e}"))?;
+            pairs.push((key.to_string(), value));
+        }
+        Ok(pairs)
+    }
+}
+
+/// The simulated cycle counts gated by CI: every metric is a deterministic
+/// function of the cost model (no RNG), so any drift is a calibration
+/// change that must be acknowledged by regenerating the golden file.
+pub mod metrics {
+    use platform::{Coprocessor, CostModel, Hierarchy, Platform};
+
+    /// Collects the gated cycle metrics, sorted by name.
+    pub fn collect() -> Vec<(String, u64)> {
+        let type_a = Platform::new(CostModel::paper(), 4, Hierarchy::TypeA);
+        let type_b = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+        let seq = Coprocessor::new(CostModel::paper_sequential(), 4);
+        let m = |name: &str, cycles: u64| (name.to_string(), cycles);
+        let mut out = vec![
+            m("interrupt_cycles", type_b.interrupt_cycles()),
+            m(
+                "mm_170_pipelined",
+                type_b.montgomery_multiplication_report(170).cycles,
+            ),
+            m(
+                "mm_160_pipelined",
+                type_b.montgomery_multiplication_report(160).cycles,
+            ),
+            m(
+                "mm_1024_pipelined",
+                type_b.montgomery_multiplication_report(1024).cycles,
+            ),
+            m("mm_170_sequential", seq.mont_mul_cycles(170)),
+            m("mm_1024_sequential", seq.mont_mul_cycles(1024)),
+            m(
+                "ma_170_pipelined",
+                type_b.modular_addition_report(170).cycles,
+            ),
+            m(
+                "ms_170_pipelined",
+                type_b.modular_subtraction_report(170).cycles,
+            ),
+            m(
+                "mm_256_1core_pipelined",
+                Coprocessor::new(CostModel::paper(), 1).mont_mul_cycles(256),
+            ),
+            m(
+                "mm_256_4core_pipelined",
+                Coprocessor::new(CostModel::paper(), 4).mont_mul_cycles(256),
+            ),
+            m(
+                "t6_mult_type_a",
+                type_a.fp6_multiplication_report(170).cycles,
+            ),
+            m(
+                "t6_mult_type_b",
+                type_b.fp6_multiplication_report(170).cycles,
+            ),
+            m(
+                "ecc_pa_type_b",
+                type_b.ecc_point_addition_report(160).cycles,
+            ),
+            m(
+                "ecc_pd_type_b",
+                type_b.ecc_point_doubling_report(160).cycles,
+            ),
+        ];
+        out.sort();
+        out
+    }
+}
+
 /// A row comparing a paper value against the reproduction's measurement.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -108,6 +220,25 @@ pub fn print_table(title: &str, rows: &[Row]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_roundtrips() {
+        let pairs = vec![("mm_170".to_string(), 198u64), ("ma_170".to_string(), 61)];
+        let text = json::write_object(&pairs);
+        assert_eq!(json::parse_object(&text).unwrap(), pairs);
+        assert!(json::parse_object("[1, 2]").is_err());
+        assert!(json::parse_object("{\"k\": -3}").is_err());
+        assert!(json::parse_object("{k: 3}").is_err());
+    }
+
+    #[test]
+    fn metrics_are_deterministic_and_sorted() {
+        let a = metrics::collect();
+        let b = metrics::collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(a.iter().any(|(k, _)| k == "mm_170_pipelined"));
+    }
 
     #[test]
     fn rows_format_cleanly() {

@@ -16,7 +16,8 @@
 //!   (two `Fp` elements plus a 2-bit hint), together with the exact
 //!   factor-2 `T2` compression of the underlying quadratic torus.
 //! * Key exchange ([`KeyPair`], [`shared_secret`]), ElGamal-style
-//!   encryption ([`elgamal`]) and Schnorr-style signatures ([`schnorr`]).
+//!   encryption ([`encrypt_element`]/[`decrypt_element`]) and Schnorr-style
+//!   signatures ([`sign`]/[`verify`]).
 //!
 //! # Quick start
 //!

@@ -18,6 +18,7 @@ use bignum::{mod_inv, BigUint};
 
 use crate::cost::CostModel;
 use crate::isa::{Core, MicroOp, Program};
+use crate::schedule::{self, MontPipeline};
 
 /// Result of one modular operation on the coprocessor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,9 +127,15 @@ impl Coprocessor {
         let mut z = vec![0u64; s];
         let mut pending_carry = vec![0u128; cores];
 
-        let mut cycles: u64 = 0;
+        // Sequential accounting sums every event; the pipelined schedule
+        // tracks per-stage occupancy in parallel and wins wherever hazards
+        // permit overlap. Instruction and memory-access counts are schedule
+        // independent (the same work retires either way).
+        let mut seq_cycles: u64 = 0;
         let mut instructions: u64 = 0;
         let mut memory_accesses: u64 = 0;
+        let core_limb_counts: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let mut pipe = MontPipeline::new(cores);
 
         // Operand words (X, P and the running Z) live in the per-core
         // register files for the duration of the multiplication, as in the
@@ -144,11 +151,15 @@ impl Coprocessor {
             // 1 load (yi), 2 MAC, 2 AccOut-style ALU ops; T leaves on the bus.
             let phase_a_instr = 5u64;
             let phase_a_mem = 1u64;
-            cycles += 2 * self.cost.mac_cycles
+            seq_cycles += 2 * self.cost.mac_cycles
                 + 2 * self.cost.alu_cycles
                 + phase_a_mem * self.cost.mem_cycles;
             instructions += phase_a_instr;
             memory_accesses += phase_a_mem;
+
+            // The pipelined schedule advances all three stages (yi fetch,
+            // T computation, limb accumulation + transfers) at once.
+            pipe.iteration(&self.cost, &core_limb_counts);
 
             // ---- Phase B (all cores in parallel): accumulate limbs. ------
             // Each core j computes W[m] = z[m] + x[m]*yi + p[m]*T (+ pending
@@ -195,7 +206,7 @@ impl Coprocessor {
             }
             // Parallel phase: longest core determines the latency; memory
             // fetches serialise on the single port.
-            cycles += phase_b_core_cycles.iter().copied().max().unwrap_or(0)
+            seq_cycles += phase_b_core_cycles.iter().copied().max().unwrap_or(0)
                 + phase_b_mem * self.cost.mem_cycles;
             memory_accesses += phase_b_mem;
 
@@ -225,7 +236,7 @@ impl Coprocessor {
                 }
             }
             let transfers = (cores - 1) as u64;
-            cycles += transfers * self.cost.transfer_cycles;
+            seq_cycles += transfers * self.cost.transfer_cycles;
             instructions += 2 * transfers;
             memory_accesses += 2 * transfers;
         }
@@ -255,7 +266,7 @@ impl Coprocessor {
                 }
             }
             instructions += 2;
-            cycles += 2 * self.cost.alu_cycles;
+            seq_cycles += 2 * self.cost.alu_cycles;
         }
 
         // ---- Conditional subtraction (Algorithm 1, lines 6-8). -----------
@@ -267,13 +278,27 @@ impl Coprocessor {
         // time): s SubB instructions plus s loads/stores on one core.
         let sub_instr = 3 * s as u64;
         let sub_mem = 2 * s as u64;
-        cycles += s as u64 * self.cost.alu_cycles + sub_mem * self.cost.mem_cycles;
+        let seq_sub = s as u64 * self.cost.alu_cycles + sub_mem * self.cost.mem_cycles;
+        seq_cycles += seq_sub + self.cost.dispatch_cycles;
         instructions += sub_instr;
         memory_accesses += sub_mem;
         if value >= *modulus {
             value = &value - modulus;
         }
-        cycles += self.cost.dispatch_cycles;
+
+        let cycles = if self.cost.is_pipelined() {
+            // Tail of the pipelined schedule: the per-core carry folds run
+            // in parallel (distinct limb positions); the final subtraction's
+            // P-loads prefetch under the MAC tail, the SubB borrow chain is
+            // serial and the Z-stores stream one port-slot behind it.
+            let fixup = 2 * self.cost.alu_cycles;
+            let sub =
+                (s as u64 * self.cost.alu_cycles + self.cost.alu_cycles + self.cost.mem_cycles)
+                    .min(seq_sub);
+            pipe.finish() + fixup + sub + self.cost.dispatch_cycles
+        } else {
+            seq_cycles
+        };
 
         debug_assert!(value < *modulus);
         ModOpResult {
@@ -282,6 +307,14 @@ impl Coprocessor {
             instructions,
             memory_accesses,
         }
+    }
+
+    /// Pure data-dependency lower bound on the cycle count of one
+    /// Montgomery multiplication at `bits` operand length: the `z0 → T`
+    /// recurrence plus the serial borrow chain of the final subtraction.
+    /// No schedule — pipelined or otherwise — can beat this.
+    pub fn mont_mul_critical_path(&self, bits: usize) -> u64 {
+        schedule::mont_critical_path_cycles(&self.cost, self.cost.limbs(bits))
     }
 
     /// Modular addition `(x + y) mod p` on a single core, executed at the
@@ -435,7 +468,12 @@ impl Coprocessor {
         let mut core = Core::new(self.cost.word_bits);
         core.clear_acc();
         let instructions = core.execute(program, &mut memory);
-        let cycles = program.cycles(&self.cost) + self.cost.dispatch_cycles;
+        let schedule_cycles = if self.cost.is_pipelined() {
+            schedule::schedule_program(program, &self.cost).cycles
+        } else {
+            program.cycles(&self.cost)
+        };
+        let cycles = schedule_cycles + self.cost.dispatch_cycles;
         // The register-level execution leaves the result in the Z region of
         // the data memory; return it so callers can cross-check it against
         // the host arithmetic.

@@ -65,6 +65,36 @@ pub enum SequenceOp {
     },
 }
 
+impl SequenceOp {
+    /// Destination slot this step writes.
+    pub fn dest(&self) -> usize {
+        match *self {
+            SequenceOp::MontMul { dst, .. }
+            | SequenceOp::ModAdd { dst, .. }
+            | SequenceOp::ModSub { dst, .. }
+            | SequenceOp::Copy { dst, .. } => dst,
+        }
+    }
+
+    /// Operand slots this step reads.
+    pub fn sources(&self) -> [usize; 2] {
+        match *self {
+            SequenceOp::MontMul { a, b, .. }
+            | SequenceOp::ModAdd { a, b, .. }
+            | SequenceOp::ModSub { a, b, .. } => [a, b],
+            SequenceOp::Copy { src, .. } => [src, src],
+        }
+    }
+
+    /// Read-after-write dependency: does this step consume `prev`'s result?
+    /// Independent neighbours may overlap in the pipelined schedule (the
+    /// sequencer prefetches the next step's operands under the current
+    /// step's MAC tail); dependent ones may not.
+    pub fn depends_on(&self, prev: &SequenceOp) -> bool {
+        self.sources().contains(&prev.dest())
+    }
+}
+
 /// Accounting for one executed sequence.
 pub type SequenceReport = ExecutionReport;
 
@@ -103,7 +133,33 @@ impl SequenceEngine {
         ops: &[SequenceOp],
     ) -> SequenceReport {
         let mut report = ExecutionReport::default();
+        // Under the pipelined schedule the Type-B sequencer prefetches the
+        // next step's operand words from the data memory while the current
+        // step's MAC tail drains — one limb-stream worth of memory cycles
+        // per independent neighbour pair. Type-A cannot overlap anything:
+        // control returns to the MicroBlaze between steps.
+        let overlap_budget =
+            if self.hierarchy == Hierarchy::TypeB && coprocessor.cost().is_pipelined() {
+                coprocessor.cost().limbs(modulus.bit_len()) as u64 * coprocessor.cost().mem_cycles
+            } else {
+                0
+            };
+        let mut prev: Option<(&SequenceOp, u64)> = None;
         for op in ops {
+            if let Some((prev_op, prev_cycles)) = prev {
+                // A prefetch can hide at most under the predecessor's own
+                // duration, and decoder-driven copies have no MAC tail to
+                // hide anything under.
+                let overlappable = !matches!(op, SequenceOp::Copy { .. })
+                    && !matches!(prev_op, SequenceOp::Copy { .. })
+                    && !op.depends_on(prev_op);
+                if overlappable {
+                    let credit = overlap_budget.min(prev_cycles).min(report.cycles);
+                    report.cycles -= credit;
+                    report.overlapped_cycles += credit;
+                }
+            }
+            let cycles_before = report.cycles;
             match *op {
                 SequenceOp::MontMul { dst, a, b } => {
                     let r = coprocessor.mont_mul(&slots[a], &slots[b], modulus);
@@ -129,6 +185,7 @@ impl SequenceEngine {
                     report.cycles += 2 * coprocessor.cost().mem_cycles;
                 }
             }
+            prev = Some((op, report.cycles - cycles_before));
             // Type-A: every modular operation is issued through register A
             // and completes with an interrupt back to the MicroBlaze.
             if self.hierarchy == Hierarchy::TypeA && !matches!(op, SequenceOp::Copy { .. }) {
@@ -188,7 +245,16 @@ mod tests {
 
     #[test]
     fn type_a_pays_one_interrupt_per_op() {
-        let (cp, p, mut slots) = setup();
+        // Sequential baseline: without pipelining the two hierarchies run
+        // the exact same events and differ only in synchronisation cost.
+        let cp = Coprocessor::new(CostModel::paper_sequential(), 4);
+        let p = BigUint::from(1_000_000_007u64);
+        let mut slots = vec![
+            BigUint::from(5u64),
+            BigUint::from(7u64),
+            BigUint::zero(),
+            BigUint::zero(),
+        ];
         let ops = [
             SequenceOp::ModAdd { dst: 2, a: 0, b: 1 },
             SequenceOp::ModAdd { dst: 3, a: 0, b: 1 },
@@ -199,9 +265,35 @@ mod tests {
         assert_eq!(a.interrupts, 3);
         assert_eq!(b.interrupts, 1);
         assert!(a.cycles > b.cycles);
+        assert_eq!(a.overlapped_cycles, 0);
+        assert_eq!(b.overlapped_cycles, 0);
         let overhead_a = 3 * cp.cost().interrupt_cycles;
         let overhead_b = cp.cost().interrupt_cycles + cp.cost().issue_cycles;
         assert_eq!(a.cycles - overhead_a, b.cycles - overhead_b);
+    }
+
+    #[test]
+    fn pipelined_type_b_overlaps_independent_neighbours() {
+        let (cp, p, mut slots) = setup();
+        // Independent neighbours overlap; a dependent pair must not.
+        let independent = [
+            SequenceOp::ModAdd { dst: 2, a: 0, b: 1 },
+            SequenceOp::ModAdd { dst: 3, a: 0, b: 1 },
+        ];
+        let dependent = [
+            SequenceOp::ModAdd { dst: 2, a: 0, b: 1 },
+            SequenceOp::ModAdd { dst: 3, a: 2, b: 1 },
+        ];
+        let engine = SequenceEngine::new(Hierarchy::TypeB);
+        let ri = engine.run(&cp, &p, &mut slots.clone(), &independent);
+        let rd = engine.run(&cp, &p, &mut slots, &dependent);
+        assert!(ri.overlapped_cycles > 0, "independent pair must overlap");
+        assert_eq!(rd.overlapped_cycles, 0, "RAW hazard forbids overlap");
+        assert!(ri.cycles < rd.cycles);
+        // Type-A never overlaps: control bounces back to the MicroBlaze.
+        let (_, _, mut fresh_slots) = setup();
+        let ra = SequenceEngine::new(Hierarchy::TypeA).run(&cp, &p, &mut fresh_slots, &independent);
+        assert_eq!(ra.overlapped_cycles, 0);
     }
 
     #[test]

@@ -82,6 +82,57 @@ impl MicroOp {
         matches!(self, MicroOp::Load { .. } | MicroOp::Store { .. })
     }
 
+    /// Returns `true` if this instruction issues into the MAC pipeline.
+    pub fn is_mac(&self) -> bool {
+        matches!(self, MicroOp::MulAcc { .. })
+    }
+
+    /// General-purpose registers this instruction reads (hazard tracking:
+    /// a reader must wait until the producing instruction has retired).
+    pub fn src_regs(&self) -> [Option<u8>; 2] {
+        match *self {
+            MicroOp::Load { .. } | MicroOp::LoadImm { .. } | MicroOp::AccOut { .. } => [None, None],
+            MicroOp::Store { src, .. } => [Some(src), None],
+            MicroOp::MulAcc { a, b } => [Some(a), Some(b)],
+            MicroOp::AccAdd { a } => [Some(a), None],
+            MicroOp::SubB { a, b, .. } => [Some(a), Some(b)],
+        }
+    }
+
+    /// General-purpose register this instruction writes, if any (hazard
+    /// tracking: a writer must not retire before earlier readers have read).
+    pub fn dst_reg(&self) -> Option<u8> {
+        match *self {
+            MicroOp::Load { dst, .. }
+            | MicroOp::LoadImm { dst, .. }
+            | MicroOp::AccOut { dst }
+            | MicroOp::SubB { dst, .. } => Some(dst),
+            MicroOp::Store { .. } | MicroOp::MulAcc { .. } | MicroOp::AccAdd { .. } => None,
+        }
+    }
+
+    /// Returns `true` if this instruction reads the architectural
+    /// accumulator value (and therefore must wait for the MAC pipeline to
+    /// drain).
+    pub fn reads_acc(&self) -> bool {
+        matches!(self, MicroOp::AccOut { .. })
+    }
+
+    /// Returns `true` if this instruction updates the accumulator (MACs and
+    /// accumulator adds retire into it; `AccOut` shifts it).
+    pub fn writes_acc(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::MulAcc { .. } | MicroOp::AccAdd { .. } | MicroOp::AccOut { .. }
+        )
+    }
+
+    /// Returns `true` if this instruction participates in the serial borrow
+    /// chain (multi-word subtraction cannot be reordered).
+    pub fn uses_borrow(&self) -> bool {
+        matches!(self, MicroOp::SubB { .. })
+    }
+
     /// Cycle cost under a [`CostModel`].
     pub fn cycles(&self, cost: &CostModel) -> u64 {
         match self {
@@ -138,7 +189,9 @@ impl Program {
         self.ops.is_empty()
     }
 
-    /// Total cycle cost (without memory-port contention).
+    /// Total cycle cost under the flat sequential model (every event
+    /// charged one after the other, no overlap). The pipelined schedule for
+    /// a program is computed by [`crate::schedule::schedule_program`].
     pub fn cycles(&self, cost: &CostModel) -> u64 {
         self.ops.iter().map(|op| op.cycles(cost)).sum()
     }

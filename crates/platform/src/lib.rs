@@ -9,7 +9,12 @@
 //! instruction-level, cycle-counting model of the same structure (see
 //! DESIGN.md for the substitution argument):
 //!
-//! * [`isa`] — the 7-instruction load/store core ISA;
+//! * [`isa`] — the 7-instruction load/store core ISA with per-instruction
+//!   hazard metadata;
+//! * [`schedule`] — the event-driven pipelined datapath model: explicit
+//!   stages (single-port operand fetch, depth-`k` MAC pipeline, writeback)
+//!   with per-stage occupancy, selectable against the flat sequential
+//!   baseline via [`ScheduleModel`];
 //! * [`Coprocessor`] — the cores, the single-port data memory and the
 //!   microcoded modular operations (multicore Montgomery multiplication
 //!   with the carry-local schedule of Fig. 5, single-core modular
@@ -41,12 +46,14 @@ pub mod isa;
 mod platform;
 mod programs;
 mod report;
+pub mod schedule;
 
 pub use coprocessor::{Coprocessor, ModOpResult};
-pub use cost::CostModel;
+pub use cost::{CostModel, ScheduleModel};
 pub use hierarchy::{Hierarchy, SequenceOp, SequenceReport};
 pub use platform::Platform;
 pub use programs::{
-    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence,
+    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, SlotArena,
+    ECC_SLOTS, FP6_MUL_SLOTS,
 };
 pub use report::ExecutionReport;

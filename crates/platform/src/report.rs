@@ -17,6 +17,10 @@ pub struct ExecutionReport {
     pub modsubs: u64,
     /// Interrupts raised towards the MicroBlaze.
     pub interrupts: u64,
+    /// Cycles saved by the pipelined sequencer overlapping an operation's
+    /// operand fetch with its independent predecessor's MAC tail (zero
+    /// under the sequential schedule and under Type-A).
+    pub overlapped_cycles: u64,
     /// Register-A (instruction register) accesses by the MicroBlaze.
     pub register_accesses: u64,
 }
@@ -35,6 +39,7 @@ impl ExecutionReport {
             modadds: self.modadds + other.modadds,
             modsubs: self.modsubs + other.modsubs,
             interrupts: self.interrupts + other.interrupts,
+            overlapped_cycles: self.overlapped_cycles + other.overlapped_cycles,
             register_accesses: self.register_accesses + other.register_accesses,
         }
     }
@@ -48,6 +53,7 @@ impl ExecutionReport {
             modadds: self.modadds * n,
             modsubs: self.modsubs * n,
             interrupts: self.interrupts * n,
+            overlapped_cycles: self.overlapped_cycles * n,
             register_accesses: self.register_accesses * n,
         }
     }
@@ -75,6 +81,7 @@ mod tests {
             modadds: 3,
             modsubs: 1,
             interrupts: 1,
+            overlapped_cycles: 5,
             register_accesses: 1,
         };
         let b = a.repeat(3);
@@ -83,6 +90,8 @@ mod tests {
         let c = a.merge(&b);
         assert_eq!(c.cycles, 400);
         assert_eq!(c.modadds, 12);
+        assert_eq!(b.overlapped_cycles, 15);
+        assert_eq!(c.overlapped_cycles, 20);
         assert!(c.to_string().contains("400 cycles"));
     }
 

@@ -1,0 +1,416 @@
+//! Event-driven pipelined schedules for the coprocessor datapath.
+//!
+//! The real FPGA datapath is not a one-event-per-cycle machine: operand
+//! fetches through the single-port data memory, MAC issues into a depth-`k`
+//! multiplier pipeline and writebacks all occupy *different stages* and
+//! overlap whenever no hazard forbids it. This module models exactly that,
+//! in two forms:
+//!
+//! * [`schedule_program`] — an in-order scoreboard for straight-line
+//!   [`Program`]s (used for the single-core modular addition/subtraction
+//!   microcode). Two issue pipes (memory and compute) each dispatch one
+//!   instruction per cycle in program order; register RAW/WAR hazards, the
+//!   accumulator drain and the serial borrow chain couple them.
+//! * [`MontPipeline`] — a per-iteration stage-occupancy model for the
+//!   multicore Montgomery multiplication of Algorithm 1/Fig. 5, tracking
+//!   the single memory port, each core's issue slots and the
+//!   `T`-computation dataflow (`z0 → T → z0`) across iterations.
+//!
+//! Both report the pure data-dependency critical path next to the
+//! schedule, so tests can pin `critical path ≤ pipelined (≤ sequential)`.
+
+use crate::cost::CostModel;
+use crate::isa::{MicroOp, Program, NUM_REGS};
+
+/// Outcome of scheduling one straight-line program on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramSchedule {
+    /// Makespan of the pipelined schedule (no dispatch overhead included).
+    pub cycles: u64,
+    /// Longest pure data-dependency chain (no structural hazards): a lower
+    /// bound no schedule of this program can beat.
+    pub critical_path: u64,
+    /// Cycles the single data-memory port is occupied (a second structural
+    /// lower bound: the port serialises all loads and stores).
+    pub mem_busy: u64,
+    /// Instructions issued into the MAC pipeline.
+    pub mac_issues: u64,
+}
+
+/// In-order dual-pipe scoreboard state for one core.
+struct Scoreboard {
+    /// Apply structural constraints (pipe issue rates, single memory port)?
+    /// With `false` the scoreboard computes the pure dataflow critical path.
+    structural: bool,
+    /// Next free cycle of the single data-memory port.
+    mem_free: u64,
+    /// Next issue slot of the compute pipe (one instruction per cycle).
+    issue_free: u64,
+    /// Cycle at which each register's value is available.
+    reg_ready: [u64; NUM_REGS],
+    /// Latest cycle at which each register was read (WAR guard).
+    reg_last_read: [u64; NUM_REGS],
+    /// Cycle at which every in-flight accumulator update has retired.
+    acc_ready: u64,
+    /// Barrier set by `AccOut`: later accumulator updates must see the
+    /// shifted value.
+    acc_barrier: u64,
+    /// Completion of the latest borrow-chain instruction.
+    borrow_ready: u64,
+    /// Makespan so far.
+    finish: u64,
+    /// Memory-port occupancy.
+    mem_busy: u64,
+    /// MAC pipeline issues.
+    mac_issues: u64,
+}
+
+impl Scoreboard {
+    fn new(structural: bool) -> Self {
+        Scoreboard {
+            structural,
+            mem_free: 0,
+            issue_free: 0,
+            reg_ready: [0; NUM_REGS],
+            reg_last_read: [0; NUM_REGS],
+            acc_ready: 0,
+            acc_barrier: 0,
+            borrow_ready: 0,
+            finish: 0,
+            mem_busy: 0,
+            mac_issues: 0,
+        }
+    }
+
+    /// Earliest cycle at which `op`'s operands are available.
+    fn operands_ready(&self, op: &MicroOp) -> u64 {
+        let mut t = 0;
+        for src in op.src_regs().into_iter().flatten() {
+            t = t.max(self.reg_ready[src as usize]);
+        }
+        if op.reads_acc() {
+            t = t.max(self.acc_ready);
+        }
+        if op.writes_acc() && !op.reads_acc() {
+            // MACs and accumulator adds pipeline onto in-flight updates but
+            // must not overtake an accumulator shift.
+            t = t.max(self.acc_barrier);
+        }
+        if op.uses_borrow() {
+            t = t.max(self.borrow_ready);
+        }
+        if let Some(dst) = op.dst_reg() {
+            // WAR: do not clobber a value an earlier instruction still needs;
+            // WAW: retire writes in order.
+            t = t
+                .max(self.reg_last_read[dst as usize])
+                .max(self.reg_ready[dst as usize]);
+        }
+        t
+    }
+
+    fn issue(&mut self, op: &MicroOp, cost: &CostModel) {
+        let ready = self.operands_ready(op);
+        let start = if self.structural {
+            if op.uses_memory() {
+                ready.max(self.mem_free)
+            } else {
+                ready.max(self.issue_free)
+            }
+        } else {
+            ready
+        };
+        let latency = if op.is_mac() {
+            cost.mac_cycles.max(cost.mac_pipeline_depth)
+        } else {
+            op.cycles(cost)
+        };
+        let done = start + latency;
+
+        if op.uses_memory() {
+            self.mem_free = start + cost.mem_cycles;
+            self.mem_busy += cost.mem_cycles;
+        } else {
+            // One issue slot per cycle on the compute pipe.
+            self.issue_free = start + 1;
+        }
+        for src in op.src_regs().into_iter().flatten() {
+            let slot = &mut self.reg_last_read[src as usize];
+            *slot = (*slot).max(start);
+        }
+        if let Some(dst) = op.dst_reg() {
+            self.reg_ready[dst as usize] = done;
+        }
+        if op.writes_acc() {
+            self.acc_ready = self.acc_ready.max(done);
+        }
+        if op.reads_acc() {
+            // The shift retires with the instruction; later updates see it.
+            self.acc_barrier = done;
+            self.acc_ready = done;
+        }
+        if op.uses_borrow() {
+            self.borrow_ready = done;
+        }
+        if op.is_mac() {
+            self.mac_issues += 1;
+        }
+        self.finish = self.finish.max(done);
+    }
+}
+
+/// Schedules a straight-line program on one core under the pipelined stage
+/// model, returning the makespan together with the data-dependency critical
+/// path and the memory-port occupancy.
+pub fn schedule_program(program: &Program, cost: &CostModel) -> ProgramSchedule {
+    let mut pipelined = Scoreboard::new(true);
+    let mut dataflow = Scoreboard::new(false);
+    for op in program.ops() {
+        pipelined.issue(op, cost);
+        dataflow.issue(op, cost);
+    }
+    ProgramSchedule {
+        cycles: pipelined.finish,
+        critical_path: dataflow.finish,
+        mem_busy: pipelined.mem_busy,
+        mac_issues: pipelined.mac_issues,
+    }
+}
+
+/// Issue slots one limb of the Montgomery inner loop occupies on its core:
+/// two MACs (`x·yi`, `p·T`), the running-sum accumulate and the word
+/// writeback (`AccOut`).
+pub(crate) fn limb_issue_slots(cost: &CostModel) -> u64 {
+    2 * cost.mac_cycles + 2 * cost.alu_cycles
+}
+
+/// Stage-occupancy schedule of the multicore Montgomery multiplication.
+///
+/// Each of the `s` outer iterations of Algorithm 1 flows through three
+/// stages, and the model tracks when each resource frees up rather than
+/// summing the stage costs:
+///
+/// 1. **operand fetch** — `yi` streams through the single-port data memory,
+///    which the inter-core boundary-word transfers also occupy;
+/// 2. **`T` computation** — two *dependent* multiplies on core 0
+///    (`u = z0 + x0·yi`, `T = u·p' mod r`), each paying the full MAC
+///    pipeline latency because of the dependency;
+/// 3. **limb accumulation** — every core issues its limbs back-to-back
+///    into the MAC pipeline (`limb_issue_slots` per limb); the pending
+///    inter-iteration carry injects in the writeback shadow of the top
+///    limb.
+///
+/// The dataflow recurrence chaining iterations is `z0[i] → T[i+1]`: core 0
+/// produces the next frame's `z0` after its second limb, so iteration
+/// `i+1`'s `T` overlaps the MAC tail of iteration `i` on all other cores —
+/// exactly the overlap the flat sequential model cannot express.
+#[derive(Debug, Clone)]
+pub struct MontPipeline {
+    /// Next free cycle of the single data-memory port.
+    mem_free: u64,
+    /// Next free issue slot per core.
+    core_free: Vec<u64>,
+    /// Cycle at which the next iteration's `z0` input is available.
+    z0_ready: u64,
+}
+
+impl MontPipeline {
+    /// Creates the schedule state for `cores` active cores.
+    pub fn new(cores: usize) -> Self {
+        MontPipeline {
+            mem_free: 0,
+            core_free: vec![0; cores],
+            z0_ready: 0,
+        }
+    }
+
+    /// Advances the schedule by one outer iteration; `core_limbs[j]` is the
+    /// number of limbs core `j` owns (core 0 first, largest share first).
+    pub fn iteration(&mut self, cost: &CostModel, core_limbs: &[usize]) {
+        let slots = limb_issue_slots(cost);
+        let t_latency = 2 * cost.mac_pipeline_depth.max(cost.mac_cycles);
+
+        // Stage 1: yi streams through the memory port.
+        let y_ready = self.mem_free + cost.mem_cycles;
+        self.mem_free = y_ready;
+
+        // Stage 2: T on core 0 (two dependent MACs through the pipeline).
+        let t_start = self.z0_ready.max(y_ready).max(self.core_free[0]);
+        let t_ready = t_start + t_latency;
+        self.core_free[0] = t_start + 2 * cost.mac_cycles;
+
+        // Stage 3: per-core limb accumulation, broadcast-started at t_ready.
+        for (j, &limbs) in core_limbs.iter().enumerate() {
+            let start = t_ready.max(self.core_free[j]);
+            self.core_free[j] = start + slots * limbs as u64;
+            if j == 0 {
+                // z0 of the next frame emerges after core 0's second limb
+                // (its first limb's low word is the dropped multiple of r).
+                self.z0_ready = start + slots * limbs.min(2) as u64;
+            } else {
+                // The boundary word moves to core j-1 through the memory
+                // port once core j's first limb retires.
+                let boundary_ready = start + slots;
+                self.mem_free = self.mem_free.max(boundary_ready) + cost.transfer_cycles;
+            }
+        }
+    }
+
+    /// Cycle at which the last in-flight event of the schedule retires.
+    pub fn finish(&self) -> u64 {
+        self.core_free
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.mem_free)
+    }
+}
+
+/// Pure data-dependency lower bound for an `s`-limb Montgomery
+/// multiplication: no schedule can beat the `z0 → T → z0` recurrence plus
+/// the serial borrow chain of the final subtraction.
+pub fn mont_critical_path_cycles(cost: &CostModel, s: usize) -> u64 {
+    let slots = limb_issue_slots(cost);
+    let t_latency = 2 * cost.mac_pipeline_depth.max(cost.mac_cycles);
+    let per_iteration = t_latency + slots * s.min(2) as u64;
+    s as u64 * per_iteration + s as u64 * cost.alu_cycles + cost.dispatch_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::paper()
+    }
+
+    #[test]
+    fn single_port_memory_serialises_independent_loads() {
+        // Two loads with no data dependency still cannot share the port.
+        let mut p = Program::new();
+        p.push(MicroOp::Load { dst: 0, addr: 0 });
+        p.push(MicroOp::Load { dst: 1, addr: 1 });
+        let s = schedule_program(&p, &cost());
+        assert_eq!(s.mem_busy, 2 * cost().mem_cycles);
+        assert!(
+            s.cycles >= 2 * cost().mem_cycles,
+            "single-port hazard: {} < {}",
+            s.cycles,
+            2 * cost().mem_cycles
+        );
+        // Without the structural hazard they would finish together.
+        assert_eq!(s.critical_path, cost().mem_cycles);
+    }
+
+    #[test]
+    fn store_waits_for_its_producer() {
+        let mut p = Program::new();
+        p.push(MicroOp::Load { dst: 0, addr: 0 });
+        p.push(MicroOp::AccAdd { a: 0 });
+        p.push(MicroOp::AccOut { dst: 1 });
+        p.push(MicroOp::Store { src: 1, addr: 1 });
+        let s = schedule_program(&p, &cost());
+        // load -> acc add -> acc out -> store is a serial chain.
+        let chain = cost().mem_cycles + 2 * cost().alu_cycles + cost().mem_cycles;
+        assert_eq!(s.critical_path, chain);
+        assert!(s.cycles >= chain);
+    }
+
+    #[test]
+    fn memory_traffic_overlaps_compute() {
+        // A load for the *next* word can stream in under ALU work on the
+        // current word: the makespan beats the sequential sum.
+        let mut p = Program::new();
+        p.push(MicroOp::Load { dst: 0, addr: 0 });
+        p.push(MicroOp::AccAdd { a: 0 });
+        p.push(MicroOp::Load { dst: 1, addr: 1 });
+        p.push(MicroOp::AccAdd { a: 1 });
+        p.push(MicroOp::AccOut { dst: 2 });
+        p.push(MicroOp::Store { src: 2, addr: 2 });
+        let c = cost();
+        let s = schedule_program(&p, &c);
+        assert!(
+            s.cycles < p.cycles(&c),
+            "pipelined {} should beat sequential {}",
+            s.cycles,
+            p.cycles(&c)
+        );
+        assert!(s.cycles >= s.critical_path);
+    }
+
+    #[test]
+    fn war_hazard_keeps_reload_ordered() {
+        // Reloading r0 must not clobber it before the AccAdd has read it.
+        let mut p = Program::new();
+        p.push(MicroOp::Load { dst: 0, addr: 0 });
+        p.push(MicroOp::AccAdd { a: 0 });
+        p.push(MicroOp::Load { dst: 0, addr: 1 });
+        p.push(MicroOp::AccAdd { a: 0 });
+        p.push(MicroOp::AccOut { dst: 1 });
+        let c = cost();
+        let s = schedule_program(&p, &c);
+        // The second load may not complete before the first AccAdd issues:
+        // the accumulate chain is 2 adds + the drain-out.
+        assert!(s.cycles >= 3 * c.alu_cycles + c.mem_cycles);
+    }
+
+    #[test]
+    fn borrow_chain_is_serial() {
+        let mut p = Program::new();
+        for i in 0..4u8 {
+            p.push(MicroOp::SubB {
+                dst: 8 + i,
+                a: i,
+                b: i,
+            });
+        }
+        let c = cost();
+        let s = schedule_program(&p, &c);
+        assert_eq!(s.critical_path, 4 * c.alu_cycles);
+        assert!(s.cycles >= 4 * c.alu_cycles);
+    }
+
+    #[test]
+    fn mac_pipeline_issues_back_to_back_but_drains_before_accout() {
+        let mut p = Program::new();
+        p.push(MicroOp::LoadImm { dst: 0, imm: 3 });
+        for _ in 0..4 {
+            p.push(MicroOp::MulAcc { a: 0, b: 0 });
+        }
+        p.push(MicroOp::AccOut { dst: 1 });
+        let c = cost();
+        let s = schedule_program(&p, &c);
+        assert_eq!(s.mac_issues, 4);
+        // Four independent MACs issue in 4 consecutive slots; the AccOut
+        // waits for the last one to retire through the depth-k pipeline.
+        let issue_done = c.alu_cycles + 4;
+        let drain = c.mac_pipeline_depth.max(c.mac_cycles) - 1;
+        assert_eq!(s.cycles, issue_done + drain + c.alu_cycles);
+    }
+
+    #[test]
+    fn mont_pipeline_matches_hand_schedule() {
+        // 4 limbs on 2 cores, paper constants: steady-state iteration
+        // advance is the core-0 occupancy (T issue + its limbs).
+        let c = cost();
+        let mut pipe = MontPipeline::new(2);
+        for _ in 0..4 {
+            pipe.iteration(&c, &[2, 2]);
+        }
+        let seq_per_iter = (2 * c.mac_cycles + 2 * c.alu_cycles + c.mem_cycles)
+            + (limb_issue_slots(&c) * 2 + c.alu_cycles)
+            + c.transfer_cycles;
+        assert!(pipe.finish() < 4 * seq_per_iter);
+        assert!(pipe.finish() >= 4 * (2 * c.mac_pipeline_depth + 2 * limb_issue_slots(&c)));
+    }
+
+    #[test]
+    fn mont_critical_path_scales_linearly() {
+        let c = cost();
+        let cp8 = mont_critical_path_cycles(&c, 8);
+        let cp16 = mont_critical_path_cycles(&c, 16);
+        assert!(cp16 > cp8);
+        assert!(cp16 - c.dispatch_cycles <= 2 * (cp8 - c.dispatch_cycles) + 1);
+    }
+}

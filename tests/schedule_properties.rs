@@ -1,0 +1,156 @@
+//! Property-based tests for the pipelined schedule model: the pipelined
+//! cycle counts must never beat the pure data-dependency critical path and
+//! never lose to the flat sequential model, and the single-port data memory
+//! must serialise all loads and stores.
+
+use bignum::BigUint;
+use platform::isa::{MicroOp, Program, NUM_REGS};
+use platform::schedule::schedule_program;
+use platform::{Coprocessor, CostModel};
+use proptest::prelude::*;
+
+/// Decodes one packed word into a valid microinstruction (registers within
+/// range, addresses inside a 64-word memory).
+fn decode_op(word: u64) -> MicroOp {
+    let kind = word % 7;
+    let r = |shift: u32| ((word >> shift) % NUM_REGS as u64) as u8;
+    let addr = ((word >> 20) % 64) as u16;
+    match kind {
+        0 => MicroOp::Load { dst: r(4), addr },
+        1 => MicroOp::Store { src: r(4), addr },
+        2 => MicroOp::LoadImm {
+            dst: r(4),
+            imm: word >> 8,
+        },
+        3 => MicroOp::MulAcc { a: r(4), b: r(8) },
+        4 => MicroOp::AccAdd { a: r(4) },
+        5 => MicroOp::AccOut { dst: r(4) },
+        _ => MicroOp::SubB {
+            dst: r(4),
+            a: r(8),
+            b: r(12),
+        },
+    }
+}
+
+fn program_from_words(words: &[u64]) -> Program {
+    let mut p = Program::new();
+    for &w in words {
+        p.push(decode_op(w));
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary straight-line programs, the scoreboard's makespan is
+    /// bounded below by the data-dependency critical path, the memory-port
+    /// occupancy (single port!) and the MAC issue count (one issue/cycle).
+    #[test]
+    fn program_schedule_respects_structural_lower_bounds(
+        words in prop::collection::vec(0u64..u64::MAX, 1..60),
+    ) {
+        let program = program_from_words(&words);
+        let cost = CostModel::paper();
+        let s = schedule_program(&program, &cost);
+        prop_assert!(
+            s.cycles >= s.critical_path,
+            "makespan {} beat the critical path {}",
+            s.cycles,
+            s.critical_path
+        );
+        prop_assert!(
+            s.cycles >= s.mem_busy,
+            "makespan {} under memory-port occupancy {}",
+            s.cycles,
+            s.mem_busy
+        );
+        prop_assert!(s.cycles >= s.mac_issues, "MAC pipeline issues one per cycle");
+        // The structural bounds are consistent with the instruction counts.
+        prop_assert_eq!(s.mem_busy, program.memory_accesses() * cost.mem_cycles);
+    }
+
+    /// Pipelined Montgomery multiplication: never below the dataflow
+    /// critical path, never above the sequential baseline, at every operand
+    /// length and core count.
+    #[test]
+    fn mont_mul_pipelined_is_bracketed(bits in 8usize..420, cores in 1usize..8) {
+        let pipelined = Coprocessor::new(CostModel::paper(), cores);
+        let sequential = Coprocessor::new(CostModel::paper_sequential(), cores);
+        let pip = pipelined.mont_mul_cycles(bits);
+        let seq = sequential.mont_mul_cycles(bits);
+        let lower = pipelined.mont_mul_critical_path(bits);
+        prop_assert!(
+            lower <= pip,
+            "bits={} cores={}: pipelined {} beat the critical path {}",
+            bits, cores, pip, lower
+        );
+        prop_assert!(
+            pip <= seq,
+            "bits={} cores={}: pipelined {} lost to sequential {}",
+            bits, cores, pip, seq
+        );
+    }
+
+    /// The same bracket holds for the single-core modular add/sub microcode
+    /// scheduled through the scoreboard.
+    #[test]
+    fn mod_add_sub_pipelined_never_lose_to_sequential(bits in 8usize..420) {
+        let pipelined = Coprocessor::new(CostModel::paper(), 4);
+        let sequential = Coprocessor::new(CostModel::paper_sequential(), 4);
+        prop_assert!(pipelined.mod_add_cycles(bits) <= sequential.mod_add_cycles(bits));
+        prop_assert!(pipelined.mod_sub_cycles(bits) <= sequential.mod_sub_cycles(bits));
+    }
+}
+
+#[test]
+fn single_port_memory_hazard_serialises_concurrent_streams() {
+    // Ten independent loads share one port: the makespan cannot dip below
+    // ten memory cycles no matter how deep the pipelining.
+    let cost = CostModel::paper();
+    let mut p = Program::new();
+    for i in 0..10u8 {
+        p.push(MicroOp::Load {
+            dst: i % 8,
+            addr: i as u16,
+        });
+    }
+    let s = schedule_program(&p, &cost);
+    assert!(s.cycles >= 10 * cost.mem_cycles);
+    assert_eq!(s.mem_busy, 10 * cost.mem_cycles);
+}
+
+#[test]
+fn pipelined_mm170_lands_within_ten_percent_of_paper() {
+    // The acceptance target of the pipelined schedule: Table 1's 193-cycle
+    // 170-bit Montgomery multiplication, reproduced within ±10%.
+    let cp = Coprocessor::new(CostModel::paper(), 4);
+    let cycles = cp.mont_mul_cycles(170) as f64;
+    let paper = 193.0;
+    let deviation = (cycles - paper).abs() / paper;
+    assert!(
+        deviation <= 0.10,
+        "170-bit MM: {cycles} cycles vs paper {paper} ({:.1}% off)",
+        100.0 * deviation
+    );
+    // The sequential baseline stays where the flat model always put it.
+    let seq = Coprocessor::new(CostModel::paper_sequential(), 4).mont_mul_cycles(170);
+    assert_eq!(seq, 311, "sequential baseline must not drift");
+}
+
+#[test]
+fn pipelined_and_sequential_agree_on_functional_results() {
+    // Schedule selection changes cycle accounting only — the computed
+    // Montgomery products are identical.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+    let p = bignum::gen_prime(170, &mut rng);
+    let x = BigUint::random_below(&mut rng, &p);
+    let y = BigUint::random_below(&mut rng, &p);
+    let pip = Coprocessor::new(CostModel::paper(), 4).mont_mul(&x, &y, &p);
+    let seq = Coprocessor::new(CostModel::paper_sequential(), 4).mont_mul(&x, &y, &p);
+    assert_eq!(pip.value, seq.value);
+    assert_eq!(pip.instructions, seq.instructions);
+    assert_eq!(pip.memory_accesses, seq.memory_accesses);
+    assert!(pip.cycles < seq.cycles);
+}
