@@ -2,6 +2,8 @@
 //!
 //! * schedule-model ablation — the pipelined stage schedule against the
 //!   flat sequential baseline, across operand lengths and MAC depths;
+//! * dual-path sweep — the speculative constant-time MA/MS adder against
+//!   the conditional-correction model, per Table 1/2 row;
 //! * interrupt-cost sweep — where the Type-A bottleneck comes from and when
 //!   the two hierarchies cross over;
 //! * exponentiation window size for the torus;
@@ -17,10 +19,85 @@ use rand::SeedableRng;
 
 fn main() {
     schedule_sweep();
+    dual_path_sweep();
     interrupt_sweep();
     window_sweep();
     core_sweep_rsa();
     future_work();
+}
+
+fn dual_path_sweep() {
+    // The Table 2 fidelity ablation: the same sequences priced with the
+    // data-dependent conditional-correction MA/MS (dual-path off) versus
+    // the speculative constant-time adder (paper calibration). The leaf
+    // rows show the worst case (correction taken), which the dual path
+    // turns into the only case.
+    let speculative = CostModel::paper();
+    let conditional = CostModel::paper().with_dual_path(false);
+    let mut rows = Vec::new();
+
+    let worst_ma_ms = |cost: CostModel, bits: usize| -> (u64, u64) {
+        let cp = Coprocessor::new(cost, 4);
+        (cp.mod_add_worst_cycles(bits), cp.mod_sub_worst_cycles(bits))
+    };
+    for bits in [160usize, 170] {
+        let (ma_cond, ms_cond) = worst_ma_ms(conditional, bits);
+        let (ma_dual, ms_dual) = worst_ma_ms(speculative, bits);
+        rows.push(Row {
+            label: format!("{bits}-bit MA worst case: conditional {ma_cond}, dual-path {ma_dual}"),
+            paper: "-".into(),
+            measured: format!("{:+.1}%", delta_pct(ma_cond, ma_dual)),
+        });
+        rows.push(Row {
+            label: format!("{bits}-bit MS worst case: conditional {ms_cond}, dual-path {ms_dual}"),
+            paper: "-".into(),
+            measured: format!("{:+.1}%", delta_pct(ms_cond, ms_dual)),
+        });
+    }
+
+    let composite =
+        |label: &str, paper_cycles: u64, probe: &dyn Fn(&Platform) -> u64, hierarchy: Hierarchy| {
+            let cond = probe(&Platform::new(conditional, 4, hierarchy));
+            let dual = probe(&Platform::new(speculative, 4, hierarchy));
+            Row {
+                label: format!("{label}: conditional {cond}, dual-path {dual}"),
+                paper: format!("{paper_cycles}"),
+                measured: format!("{:+.1}%", delta_pct(cond, dual)),
+            }
+        };
+    rows.push(composite(
+        "Type-A T6 mult.",
+        paper::T6_MULT_TYPE_A,
+        &|p| p.fp6_multiplication_report(170).cycles,
+        Hierarchy::TypeA,
+    ));
+    rows.push(composite(
+        "Type-B T6 mult.",
+        paper::T6_MULT_TYPE_B,
+        &|p| p.fp6_multiplication_report(170).cycles,
+        Hierarchy::TypeB,
+    ));
+    rows.push(composite(
+        "Type-B ECC PA",
+        paper::ECC_PA_TYPE_B,
+        &|p| p.ecc_point_addition_report(160).cycles,
+        Hierarchy::TypeB,
+    ));
+    rows.push(composite(
+        "Type-B ECC PD",
+        paper::ECC_PD_TYPE_B,
+        &|p| p.ecc_point_doubling_report(160).cycles,
+        Hierarchy::TypeB,
+    ));
+    print_table(
+        "Ablation: conditional-correction vs speculative dual-path MA/MS",
+        &rows,
+    );
+}
+
+/// Relative change going from `from` to `to`, in percent.
+fn delta_pct(from: u64, to: u64) -> f64 {
+    100.0 * (to as f64 - from as f64) / from as f64
 }
 
 fn schedule_sweep() {

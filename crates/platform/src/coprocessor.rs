@@ -318,16 +318,22 @@ impl Coprocessor {
     }
 
     /// Modular addition `(x + y) mod p` on a single core, executed at the
-    /// register level through the 7-instruction ISA.
+    /// register level through the core ISA.
+    ///
+    /// Under [`CostModel::is_dual_path`] the decoder dispatches the
+    /// speculative constant-time adder: `x + y` (carry chain, primary
+    /// compute pipe) and `x + y - p` (borrow chain, speculative pipe) run
+    /// in parallel and a 1-cycle select per word commits the reduced
+    /// result, so the cycle count is independent of whether the correction
+    /// triggers. Otherwise the subtraction-of-p block is dispatched
+    /// sequentially only when the carry flag reports an overflow past the
+    /// modulus (the data-dependent pre-dual-path behaviour).
     ///
     /// # Panics
     ///
     /// Panics if the operands are not reduced modulo `p`.
     pub fn mod_add(&self, x: &BigUint, y: &BigUint, modulus: &BigUint) -> ModOpResult {
         assert!(x < modulus && y < modulus, "operands must be reduced");
-        // x + y computed word-serially through the accumulator; the decoder
-        // dispatches the subtraction-of-p block only when the carry flag
-        // reports an overflow past the modulus.
         let s = self.cost.limbs(modulus.bit_len());
         let sum = x + y;
         let needs_correction = sum >= *modulus;
@@ -336,13 +342,26 @@ impl Coprocessor {
         } else {
             sum
         };
-        let (program, mem_size) = self.add_like_program(s, needs_correction);
-        let report = self.run_single_core(&program, mem_size, x, y, modulus, s);
+        let (program, select_path) = if self.cost.is_dual_path() {
+            let pw = self.to_words(modulus, s);
+            (
+                self.dual_path_program(s, &pw, DualPathKind::Add),
+                needs_correction,
+            )
+        } else {
+            (self.add_like_program(s, needs_correction), false)
+        };
+        let report = self.run_single_core(&program, x, y, modulus, select_path);
         debug_assert_eq!(report.value, value, "register-level MA diverged from host");
         ModOpResult { value, ..report }
     }
 
     /// Modular subtraction `(x - y) mod p` on a single core.
+    ///
+    /// Under [`CostModel::is_dual_path`] both candidates (`x - y` on the
+    /// borrow chain and `x - y + p` on the carry chain) run speculatively
+    /// in parallel; otherwise the add-p-back block is dispatched only when
+    /// the final borrow is set.
     ///
     /// # Panics
     ///
@@ -356,15 +375,109 @@ impl Coprocessor {
             x - y
         };
         let s = self.cost.limbs(modulus.bit_len());
-        let (program, mem_size) = self.sub_like_program(s, needs_addback);
-        let report = self.run_single_core(&program, mem_size, x, y, modulus, s);
+        let (program, select_path) = if self.cost.is_dual_path() {
+            let pw = self.to_words(modulus, s);
+            (
+                self.dual_path_program(s, &pw, DualPathKind::Sub),
+                needs_addback,
+            )
+        } else {
+            (self.sub_like_program(s, needs_addback), false)
+        };
+        let report = self.run_single_core(&program, x, y, modulus, select_path);
         debug_assert_eq!(report.value, value, "register-level MS diverged from host");
         ModOpResult { value, ..report }
     }
 
+    /// Builds the speculative dual-path MA/MS microcode: per word, both
+    /// candidate paths issue (the primary chain and the speculative
+    /// correction chain, which the scoreboard places on separate compute
+    /// pipes) and a 1-cycle select commits the reduced word. The modulus
+    /// words arrive as immediates on the instruction bus — the sequence is
+    /// generated per modulus, exactly like the paper's InsRom microcode —
+    /// so the single data-memory port only carries the two operand streams
+    /// and the result writeback (`3s` accesses). The program shape is
+    /// independent of the operand values: constant time by construction.
+    ///
+    /// Two register banks alternate across words, and each word's writeback
+    /// is deferred past the next word's operand fetch (software
+    /// pipelining), so the in-order single memory port never idles waiting
+    /// for a select to resolve: the steady state is three port slots per
+    /// word (two operand loads + one result store).
+    fn dual_path_program(&self, s: usize, pw: &[u64], kind: DualPathKind) -> Program {
+        let mut p = Program::new();
+        let out_reg = |m: usize| ((m % 2) * 8) as u8 + 5;
+        // Memory layout: [0..s) = X, [s..2s) = Y, [2s..3s) = P, [3s..4s) = Z.
+        for (m, &p_word) in pw.iter().enumerate().take(s) {
+            let bank = ((m % 2) * 8) as u8;
+            let [rx, ry, r_primary, r_spec, rp, r_out] =
+                [bank, bank + 1, bank + 2, bank + 3, bank + 4, bank + 5];
+            p.push(MicroOp::Load {
+                dst: rx,
+                addr: m as u16,
+            });
+            p.push(MicroOp::Load {
+                dst: ry,
+                addr: (s + m) as u16,
+            });
+            if m > 0 {
+                // Writeback of the previous word, deferred so the port
+                // stays busy while this word's paths compute.
+                p.push(MicroOp::Store {
+                    src: out_reg(m - 1),
+                    addr: (3 * s + m - 1) as u16,
+                });
+            }
+            p.push(MicroOp::LoadImm {
+                dst: rp,
+                imm: p_word,
+            });
+            match kind {
+                DualPathKind::Add => {
+                    // Path A: x + y (carry chain); path B: (x+y) - p
+                    // (borrow chain, speculative pipe).
+                    p.push(MicroOp::AddC {
+                        dst: r_primary,
+                        a: rx,
+                        b: ry,
+                    });
+                    p.push(MicroOp::SubB {
+                        dst: r_spec,
+                        a: r_primary,
+                        b: rp,
+                    });
+                }
+                DualPathKind::Sub => {
+                    // Path A: x - y (borrow chain); path B: (x-y) + p
+                    // (carry chain).
+                    p.push(MicroOp::SubB {
+                        dst: r_primary,
+                        a: rx,
+                        b: ry,
+                    });
+                    p.push(MicroOp::AddC {
+                        dst: r_spec,
+                        a: r_primary,
+                        b: rp,
+                    });
+                }
+            }
+            p.push(MicroOp::Select {
+                dst: r_out,
+                a: r_primary,
+                b: r_spec,
+            });
+        }
+        p.push(MicroOp::Store {
+            src: out_reg(s - 1),
+            addr: (4 * s - 1) as u16,
+        });
+        p
+    }
+
     /// Builds the word-serial addition microcode, optionally followed by the
     /// subtraction-of-p correction block.
-    fn add_like_program(&self, s: usize, with_correction: bool) -> (Program, usize) {
+    fn add_like_program(&self, s: usize, with_correction: bool) -> Program {
         let mut p = Program::new();
         // Memory layout: [0..s) = X, [s..2s) = Y, [2s..3s) = P, [3s..4s) = Z.
         for m in 0..s {
@@ -401,12 +514,12 @@ impl Coprocessor {
                 });
             }
         }
-        (p, 4 * s)
+        p
     }
 
     /// Builds the word-serial subtraction microcode, optionally followed by
     /// the add-p-back correction block.
-    fn sub_like_program(&self, s: usize, with_addback: bool) -> (Program, usize) {
+    fn sub_like_program(&self, s: usize, with_addback: bool) -> Program {
         let mut p = Program::new();
         for m in 0..s {
             p.push(MicroOp::Load {
@@ -445,28 +558,32 @@ impl Coprocessor {
                 });
             }
         }
-        (p, 4 * s)
+        p
     }
 
     /// Executes a single-core program with the standard X/Y/P memory layout
     /// and returns the cycle accounting (the caller supplies the numeric
     /// result, which the register-level program also produces in memory for
-    /// the word-width it models).
+    /// the word-width it models). `select_path` is the decoder-latched flag
+    /// consumed by `Select` instructions (ignored by programs without any).
     fn run_single_core(
         &self,
         program: &Program,
-        mem_size: usize,
         x: &BigUint,
         y: &BigUint,
         modulus: &BigUint,
-        s: usize,
+        select_path: bool,
     ) -> ModOpResult {
-        let mut memory = vec![0u64; mem_size];
+        // Every MA/MS program builder targets the same fixed layout:
+        // [0..s) = X, [s..2s) = Y, [2s..3s) = P, [3s..4s) = Z.
+        let s = self.cost.limbs(modulus.bit_len());
+        let mut memory = vec![0u64; 4 * s];
         memory[..s].copy_from_slice(&self.to_words(x, s));
         memory[s..2 * s].copy_from_slice(&self.to_words(y, s));
         memory[2 * s..3 * s].copy_from_slice(&self.to_words(modulus, s));
         let mut core = Core::new(self.cost.word_bits);
         core.clear_acc();
+        core.set_select_path(select_path);
         let instructions = core.execute(program, &mut memory);
         let schedule_cycles = if self.cost.is_pipelined() {
             schedule::schedule_program(program, &self.cost).cycles
@@ -513,6 +630,36 @@ impl Coprocessor {
         let y = BigUint::from(2u64);
         self.mod_sub(&x, &y, &p).cycles
     }
+
+    /// Cycle count of one modular addition whose correction block runs
+    /// (`x = y = p - 1` forces the sum past the modulus): the worst case
+    /// of the conditional-correction model and — by constant-time
+    /// construction — the only case of the dual-path model. The bench
+    /// ablations and the property tests probe through this helper so they
+    /// cannot drift onto different operand choices.
+    pub fn mod_add_worst_cycles(&self, bits: usize) -> u64 {
+        let p = sample_modulus(bits);
+        let hi = &p - &BigUint::from(1u64);
+        self.mod_add(&hi, &hi, &p).cycles
+    }
+
+    /// Cycle count of one modular subtraction whose add-back block runs
+    /// (`x = 1, y = p - 1` forces the difference negative); see
+    /// [`Coprocessor::mod_add_worst_cycles`].
+    pub fn mod_sub_worst_cycles(&self, bits: usize) -> u64 {
+        let p = sample_modulus(bits);
+        let hi = &p - &BigUint::from(1u64);
+        self.mod_sub(&BigUint::from(1u64), &hi, &p).cycles
+    }
+}
+
+/// Which modular operation a dual-path program implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DualPathKind {
+    /// `x + y` primary, `x + y - p` speculative.
+    Add,
+    /// `x - y` primary, `x - y + p` speculative.
+    Sub,
 }
 
 /// Contiguous limb ranges assigned to each core (Fig. 5's distribution).
@@ -529,9 +676,18 @@ fn limb_ranges(s: usize, cores: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
-/// A deterministic odd modulus with exactly `bits` bits, used for
-/// cycle-count probes.
-fn sample_modulus(bits: usize) -> BigUint {
+/// A deterministic odd modulus with exactly `bits` bits
+/// (`2^(bits-1) + 2^(bits/2) + 1`), used for cycle-count probes: the
+/// `*_cycles` helpers on [`Coprocessor`] measure against it, and the bench
+/// ablations and property tests reuse it so every layer probes the same
+/// worst cases (`p - 1` operands force the MA correction, `1 - (p - 1)`
+/// the MS add-back).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero.
+pub fn sample_modulus(bits: usize) -> BigUint {
+    assert!(bits > 0, "a modulus needs at least one bit");
     // 2^(bits-1) + 2^(bits/2) + 1: odd, full bit length.
     let mut m = BigUint::one().shl_bits(bits - 1);
     m = &m + &BigUint::one().shl_bits(bits / 2);

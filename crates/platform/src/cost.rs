@@ -6,18 +6,46 @@
 //! simulated modular-operation latencies land close to Table 1; the
 //! benchmark harness also sweeps these knobs for the ablation studies.
 //!
-//! Two schedule models are selectable (see [`ScheduleModel`]):
+//! The model is layered — each layer is independently selectable so every
+//! fidelity step can be ablated (see `cargo run -p bench --bin ablations`):
 //!
-//! * **Pipelined** (the default, used by [`CostModel::paper`]) — the
-//!   datapath is modelled as explicit stages (operand fetch through the
-//!   single-port memory, MAC issue into a depth-`k` pipeline, writeback)
-//!   with per-stage occupancy, so independent events overlap exactly as the
-//!   FPGA's RTL overlaps them. This calibration puts the 170-bit Montgomery
-//!   multiplication at 198 cycles, within ~3% of Table 1's 193.
-//! * **Sequential** (via [`CostModel::paper_sequential`]) — every
-//!   MAC/ALU/memory event is charged one after the other. This is the
-//!   original flat model, kept as the ablation baseline; it overestimates
-//!   the 170-bit MM at 311 cycles.
+//! 1. **Sequential** (via [`CostModel::paper_sequential`]) — every
+//!    MAC/ALU/memory event is charged one after the other. This is the
+//!    original flat model, kept bit-identical as the ablation baseline; it
+//!    overestimates the 170-bit Montgomery multiplication at 311 cycles
+//!    against Table 1's 193.
+//! 2. **Pipelined** ([`ScheduleModel::Pipelined`]) — the datapath is
+//!    modelled as explicit stages (operand fetch through the single-port
+//!    memory, MAC issue into a depth-`k` pipeline, writeback) with
+//!    per-stage occupancy, so independent events overlap exactly as the
+//!    FPGA's RTL overlaps them. This puts the 170-bit MM at 198 cycles,
+//!    within ~3% of Table 1.
+//! 3. **Dual-path MA/MS** ([`CostModel::dual_path_addsub`], the last
+//!    structural layer) — modular addition/subtraction run as a
+//!    speculative constant-time adder: the plain result and the corrected
+//!    result (`a+b` and `a+b-p`, or `a-b` and `a-b+p`) are computed in
+//!    parallel on the two compute pipes and a 1-cycle select commits the
+//!    reduced one, instead of a data-dependent correction branch. This is
+//!    what closes the Table 2 composite rows to within ±5% of the paper.
+//!
+//! [`CostModel::paper`] enables layers 2 and 3 together.
+//!
+//! # Example
+//!
+//! The three calibrations are plain values — compare them directly:
+//!
+//! ```
+//! use platform::{Coprocessor, CostModel};
+//!
+//! let dual = Coprocessor::new(CostModel::paper(), 4);
+//! let corr = Coprocessor::new(CostModel::paper().with_dual_path(false), 4);
+//! let flat = Coprocessor::new(CostModel::paper_sequential(), 4);
+//!
+//! // Speculative dual-path MA beats the conditional-correction model,
+//! // which beats the flat sequential accounting.
+//! assert!(dual.mod_add_cycles(170) <= corr.mod_add_cycles(170));
+//! assert!(corr.mod_add_cycles(170) <= flat.mod_add_cycles(170));
+//! ```
 
 /// How per-event costs combine into operation latencies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -62,6 +90,14 @@ pub struct CostModel {
     /// back-to-back at one per cycle. Only consulted by the pipelined
     /// schedule; must be at least 1.
     pub mac_pipeline_depth: u64,
+    /// Model modular addition/subtraction as a speculative dual-path
+    /// constant-time adder: both candidate results (`a+b` / `a+b-p` for MA,
+    /// `a-b` / `a-b+p` for MS) issue in parallel on the two compute pipes
+    /// and a 1-cycle select commits the reduced one. With `false` the
+    /// decoder dispatches the correction block sequentially after the
+    /// primary pass (the pre-dual-path behaviour, kept for ablations).
+    /// Only consulted by the pipelined schedule.
+    pub dual_path_addsub: bool,
     /// Which schedule combines the per-event costs above.
     pub schedule: ScheduleModel,
 }
@@ -80,16 +116,19 @@ impl CostModel {
             clock_mhz: 74.0,
             word_bits: 16,
             mac_pipeline_depth: 2,
+            dual_path_addsub: true,
             schedule: ScheduleModel::Pipelined,
         }
     }
 
     /// The flat sequential calibration (every event charged one after the
-    /// other). Kept as a selectable baseline for the ablation study; this
-    /// was the only model before the pipelined schedule existed.
+    /// other, no speculative adder). Kept as a selectable baseline for the
+    /// ablation study; this was the only model before the pipelined
+    /// schedule existed, and its cycle counts stay bit-identical.
     pub fn paper_sequential() -> Self {
         CostModel {
             schedule: ScheduleModel::Sequential,
+            dual_path_addsub: false,
             ..CostModel::paper()
         }
     }
@@ -97,6 +136,22 @@ impl CostModel {
     /// Returns this model with the given schedule selected.
     pub fn with_schedule(self, schedule: ScheduleModel) -> Self {
         CostModel { schedule, ..self }
+    }
+
+    /// Returns this model with the speculative dual-path adder switched on
+    /// or off (the conditional-correction model of the MA/MS blocks).
+    pub fn with_dual_path(self, dual_path_addsub: bool) -> Self {
+        CostModel {
+            dual_path_addsub,
+            ..self
+        }
+    }
+
+    /// Returns `true` if modular addition/subtraction use the speculative
+    /// dual-path adder (requires the pipelined schedule; the sequential
+    /// baseline always charges the correction block).
+    pub fn is_dual_path(&self) -> bool {
+        self.dual_path_addsub && self.is_pipelined()
     }
 
     /// Returns `true` if the pipelined schedule is selected.
@@ -137,14 +192,26 @@ mod tests {
     }
 
     #[test]
-    fn sequential_baseline_differs_only_in_schedule() {
+    fn sequential_baseline_differs_only_in_schedule_layers() {
         let seq = CostModel::paper_sequential();
         assert_eq!(seq.schedule, ScheduleModel::Sequential);
         assert!(!seq.is_pipelined());
+        assert!(!seq.is_dual_path());
         assert_eq!(
-            seq.with_schedule(ScheduleModel::Pipelined),
+            seq.with_schedule(ScheduleModel::Pipelined)
+                .with_dual_path(true),
             CostModel::paper()
         );
+    }
+
+    #[test]
+    fn dual_path_requires_the_pipelined_schedule() {
+        assert!(CostModel::paper().is_dual_path());
+        assert!(!CostModel::paper().with_dual_path(false).is_dual_path());
+        // The knob is inert under the sequential schedule: the flat model
+        // has no pipes to speculate on.
+        let seq_with_knob = CostModel::paper_sequential().with_dual_path(true);
+        assert!(!seq_with_knob.is_dual_path());
     }
 
     #[test]

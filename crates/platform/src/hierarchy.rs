@@ -93,6 +93,23 @@ impl SequenceOp {
     pub fn depends_on(&self, prev: &SequenceOp) -> bool {
         self.sources().contains(&prev.dest())
     }
+
+    /// Returns `true` if this step is a decoder-driven copy (which has no
+    /// execution tail to prefetch under and prefetches nothing itself).
+    pub fn is_copy(&self) -> bool {
+        matches!(self, SequenceOp::Copy { .. })
+    }
+
+    /// The sequence-level overlap rule, in one place: the Type-B sequencer
+    /// may prefetch `next`'s operands under `prev`'s tail exactly when
+    /// neither step is a decoder copy and `next` does not consume `prev`'s
+    /// result. Both the executing sequence engine and the static
+    /// [`crate::programs::independent_neighbour_pairs`] counter (which the
+    /// calibration-floor tests pin) consult this predicate, so they cannot
+    /// drift apart.
+    pub fn may_overlap(prev: &SequenceOp, next: &SequenceOp) -> bool {
+        !prev.is_copy() && !next.is_copy() && !next.depends_on(prev)
+    }
 }
 
 /// Accounting for one executed sequence.
@@ -136,24 +153,22 @@ impl SequenceEngine {
         // Under the pipelined schedule the Type-B sequencer prefetches the
         // next step's operand words from the data memory while the current
         // step's MAC tail drains — one limb-stream worth of memory cycles
-        // per independent neighbour pair. Type-A cannot overlap anything:
-        // control returns to the MicroBlaze between steps.
-        let overlap_budget =
-            if self.hierarchy == Hierarchy::TypeB && coprocessor.cost().is_pipelined() {
-                coprocessor.cost().limbs(modulus.bit_len()) as u64 * coprocessor.cost().mem_cycles
-            } else {
-                0
-            };
+        // per independent neighbour pair. Eligibility is decided by
+        // `SequenceOp::may_overlap` (RAW hazards and decoder copies forbid
+        // it); Type-A cannot overlap anything because control returns to
+        // the MicroBlaze between steps.
+        let cost = coprocessor.cost();
+        let overlap_budget = if self.hierarchy == Hierarchy::TypeB && cost.is_pipelined() {
+            cost.limbs(modulus.bit_len()) as u64 * cost.mem_cycles
+        } else {
+            0
+        };
         let mut prev: Option<(&SequenceOp, u64)> = None;
         for op in ops {
             if let Some((prev_op, prev_cycles)) = prev {
-                // A prefetch can hide at most under the predecessor's own
-                // duration, and decoder-driven copies have no MAC tail to
-                // hide anything under.
-                let overlappable = !matches!(op, SequenceOp::Copy { .. })
-                    && !matches!(prev_op, SequenceOp::Copy { .. })
-                    && !op.depends_on(prev_op);
-                if overlappable {
+                if SequenceOp::may_overlap(prev_op, op) {
+                    // A prefetch can hide at most under the predecessor's
+                    // own duration.
                     let credit = overlap_budget.min(prev_cycles).min(report.cycles);
                     report.cycles -= credit;
                     report.overlapped_cycles += credit;

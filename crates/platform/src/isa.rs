@@ -18,6 +18,20 @@
 //! | `AccAdd`  | `acc ← acc + r[a]` |
 //! | `AccOut`  | `r[d] ← acc mod 2^w; acc ← acc >> w` |
 //! | `SubB`    | `r[d] ← r[a] - r[b] - borrow`, updating the borrow flag |
+//!
+//! Two datapath extensions support the speculative dual-path modular
+//! adder (see [`crate::cost::CostModel::dual_path_addsub`]): word-serial
+//! addition with an explicit carry chain, and the select mux that commits
+//! one of the two speculative paths:
+//!
+//! | instruction | effect |
+//! |---|---|
+//! | `AddC`    | `r[d] ← r[a] + r[b] + carry`, updating the carry flag |
+//! | `Select`  | `r[d] ← path ? r[b] : r[a]` (`path` latched by the decoder) |
+//!
+//! `AddC` gives the speculative path its own carry chain next to `SubB`'s
+//! borrow chain, so the two chains can run in parallel on the two compute
+//! pipes; `Select` is the 1-cycle commit of the reduced result.
 
 use crate::cost::CostModel;
 
@@ -74,6 +88,26 @@ pub enum MicroOp {
         /// Subtrahend register.
         b: u8,
     },
+    /// `r[dst] ← r[a] + r[b] + carry`, updating the carry flag (the
+    /// word-serial carry chain of the dual-path adder).
+    AddC {
+        /// Destination register.
+        dst: u8,
+        /// First addend register.
+        a: u8,
+        /// Second addend register.
+        b: u8,
+    },
+    /// `r[dst] ← r[b]` if the decoder-latched path flag is set, else
+    /// `r[a]`: the 1-cycle select mux committing one speculative path.
+    Select {
+        /// Destination register.
+        dst: u8,
+        /// Primary-path register (path flag clear).
+        a: u8,
+        /// Speculative-path register (path flag set).
+        b: u8,
+    },
 }
 
 impl MicroOp {
@@ -95,7 +129,9 @@ impl MicroOp {
             MicroOp::Store { src, .. } => [Some(src), None],
             MicroOp::MulAcc { a, b } => [Some(a), Some(b)],
             MicroOp::AccAdd { a } => [Some(a), None],
-            MicroOp::SubB { a, b, .. } => [Some(a), Some(b)],
+            MicroOp::SubB { a, b, .. }
+            | MicroOp::AddC { a, b, .. }
+            | MicroOp::Select { a, b, .. } => [Some(a), Some(b)],
         }
     }
 
@@ -106,7 +142,9 @@ impl MicroOp {
             MicroOp::Load { dst, .. }
             | MicroOp::LoadImm { dst, .. }
             | MicroOp::AccOut { dst }
-            | MicroOp::SubB { dst, .. } => Some(dst),
+            | MicroOp::SubB { dst, .. }
+            | MicroOp::AddC { dst, .. }
+            | MicroOp::Select { dst, .. } => Some(dst),
             MicroOp::Store { .. } | MicroOp::MulAcc { .. } | MicroOp::AccAdd { .. } => None,
         }
     }
@@ -133,6 +171,17 @@ impl MicroOp {
         matches!(self, MicroOp::SubB { .. })
     }
 
+    /// Returns `true` if this instruction participates in the serial carry
+    /// chain (word-serial addition via `AddC` cannot be reordered).
+    pub fn uses_carry(&self) -> bool {
+        matches!(self, MicroOp::AddC { .. })
+    }
+
+    /// Returns `true` if this instruction is the dual-path select mux.
+    pub fn is_select(&self) -> bool {
+        matches!(self, MicroOp::Select { .. })
+    }
+
     /// Cycle cost under a [`CostModel`].
     pub fn cycles(&self, cost: &CostModel) -> u64 {
         match self {
@@ -152,6 +201,8 @@ impl MicroOp {
             MicroOp::AccAdd { a } => format!("aca  r{a}"),
             MicroOp::AccOut { dst } => format!("aco  r{dst}"),
             MicroOp::SubB { dst, a, b } => format!("sbb  r{dst}, r{a}, r{b}"),
+            MicroOp::AddC { dst, a, b } => format!("adc  r{dst}, r{a}, r{b}"),
+            MicroOp::Select { dst, a, b } => format!("sel  r{dst}, r{a}, r{b}"),
         }
     }
 }
@@ -221,6 +272,12 @@ pub struct Core {
     acc: u128,
     /// Borrow flag for multi-word subtraction.
     borrow: bool,
+    /// Carry flag for word-serial addition (`AddC` chain).
+    carry: bool,
+    /// Path flag consumed by `Select`: latched by the decoder before the
+    /// sequence runs (in hardware, the resolved carry/borrow comparison of
+    /// the dual-path adder).
+    select_path: bool,
     /// Datapath word width in bits.
     word_bits: usize,
 }
@@ -236,6 +293,8 @@ impl Core {
             regs: [0; NUM_REGS],
             acc: 0,
             borrow: false,
+            carry: false,
+            select_path: false,
             word_bits,
         }
     }
@@ -255,11 +314,25 @@ impl Core {
         self.borrow
     }
 
-    /// Resets the accumulator and borrow flag (done by the decoder before a
-    /// new microinstruction sequence).
+    /// The current carry flag.
+    pub fn carry_flag(&self) -> bool {
+        self.carry
+    }
+
+    /// Latches the dual-path select flag: `Select` picks the speculative
+    /// (`b`) operand while the flag is set. In hardware the flag is the
+    /// adder's resolved carry/borrow comparison; in the simulator the
+    /// decoder latches it before dispatching the writeback phase.
+    pub fn set_select_path(&mut self, take_speculative: bool) {
+        self.select_path = take_speculative;
+    }
+
+    /// Resets the accumulator and the carry/borrow flags (done by the
+    /// decoder before a new microinstruction sequence).
     pub fn clear_acc(&mut self) {
         self.acc = 0;
         self.borrow = false;
+        self.carry = false;
     }
 
     /// Executes a whole program against a shared data memory, returning the
@@ -310,6 +383,17 @@ impl Core {
                     self.regs[dst as usize] = diff as u64 & mask;
                     self.borrow = false;
                 }
+            }
+            MicroOp::AddC { dst, a, b } => {
+                let sum = self.regs[a as usize] as u128
+                    + self.regs[b as usize] as u128
+                    + self.carry as u128;
+                self.regs[dst as usize] = (sum as u64) & mask;
+                self.carry = sum >> self.word_bits != 0;
+            }
+            MicroOp::Select { dst, a, b } => {
+                let src = if self.select_path { b } else { a };
+                self.regs[dst as usize] = self.regs[src as usize];
             }
         }
     }
@@ -421,6 +505,63 @@ mod tests {
         assert_eq!(core.reg(4), 0xFFFF);
         assert_eq!(core.reg(5), 0x0000);
         assert!(!core.borrow_flag());
+    }
+
+    #[test]
+    fn addc_chains_carries_across_words() {
+        // Two-word addition 0xFFFF + 0x0001 per word: the low word wraps to
+        // 0 with carry out, the high word absorbs the carry.
+        let mut core = Core::new(16);
+        let mut mem = vec![0u64; 1];
+        core.step(
+            MicroOp::LoadImm {
+                dst: 0,
+                imm: 0xFFFF,
+            },
+            &mut mem,
+        );
+        core.step(MicroOp::LoadImm { dst: 1, imm: 1 }, &mut mem);
+        core.step(MicroOp::AddC { dst: 2, a: 0, b: 1 }, &mut mem);
+        assert_eq!(core.reg(2), 0);
+        assert!(core.carry_flag());
+        core.step(MicroOp::LoadImm { dst: 0, imm: 5 }, &mut mem);
+        core.step(MicroOp::LoadImm { dst: 1, imm: 6 }, &mut mem);
+        core.step(MicroOp::AddC { dst: 3, a: 0, b: 1 }, &mut mem);
+        assert_eq!(core.reg(3), 12, "carry must feed the next word");
+        assert!(!core.carry_flag());
+    }
+
+    #[test]
+    fn select_commits_the_latched_path() {
+        let mut core = Core::new(16);
+        let mut mem = vec![0u64; 1];
+        core.step(MicroOp::LoadImm { dst: 0, imm: 7 }, &mut mem);
+        core.step(MicroOp::LoadImm { dst: 1, imm: 9 }, &mut mem);
+        core.step(MicroOp::Select { dst: 2, a: 0, b: 1 }, &mut mem);
+        assert_eq!(core.reg(2), 7, "path flag clear selects the primary");
+        core.set_select_path(true);
+        core.step(MicroOp::Select { dst: 3, a: 0, b: 1 }, &mut mem);
+        assert_eq!(core.reg(3), 9, "path flag set selects the speculative");
+        // clear_acc resets the chains but not the latched path.
+        core.clear_acc();
+        assert!(!core.carry_flag() && !core.borrow_flag());
+        core.step(MicroOp::Select { dst: 4, a: 0, b: 1 }, &mut mem);
+        assert_eq!(core.reg(4), 9);
+    }
+
+    #[test]
+    fn dual_path_ops_have_hazard_metadata() {
+        let addc = MicroOp::AddC { dst: 2, a: 0, b: 1 };
+        let sel = MicroOp::Select { dst: 3, a: 2, b: 1 };
+        assert!(addc.uses_carry() && !addc.uses_borrow());
+        assert!(!addc.is_select() && sel.is_select());
+        assert_eq!(addc.dst_reg(), Some(2));
+        assert_eq!(sel.src_regs(), [Some(2), Some(1)]);
+        let cost = CostModel::paper();
+        assert_eq!(addc.cycles(&cost), cost.alu_cycles);
+        assert_eq!(sel.cycles(&cost), cost.alu_cycles);
+        assert!(sel.mnemonic().contains("sel"));
+        assert!(addc.mnemonic().contains("adc"));
     }
 
     #[test]

@@ -9,17 +9,25 @@
 //! instruction-level, cycle-counting model of the same structure (see
 //! DESIGN.md for the substitution argument):
 //!
-//! * [`isa`] — the 7-instruction load/store core ISA with per-instruction
+//! * [`isa`] — the load/store core ISA (7 paper instructions plus the
+//!   dual-path adder's `AddC`/`Select` extension) with per-instruction
 //!   hazard metadata;
+//! * [`cost`] — the per-event cycle constants and the layered model
+//!   selection: flat sequential baseline, pipelined stage schedule, and
+//!   the speculative dual-path MA/MS adder
+//!   ([`CostModel::dual_path_addsub`]);
 //! * [`schedule`] — the event-driven pipelined datapath model: explicit
-//!   stages (single-port operand fetch, depth-`k` MAC pipeline, writeback)
-//!   with per-stage occupancy, selectable against the flat sequential
-//!   baseline via [`ScheduleModel`];
+//!   stages (single-port operand fetch, depth-`k` MAC pipeline, dual
+//!   compute pipes, writeback) with per-stage occupancy, selectable
+//!   against the flat sequential baseline via [`ScheduleModel`];
 //! * [`Coprocessor`] — the cores, the single-port data memory and the
 //!   microcoded modular operations (multicore Montgomery multiplication
 //!   with the carry-local schedule of Fig. 5, single-core modular
 //!   addition/subtraction), all functionally verified against the host
 //!   `bignum` implementation;
+//! * [`programs`] — the level-2 composite sequences (`Fp6` multiplication,
+//!   ECC point addition/doubling) whose hazard-free neighbour density
+//!   feeds the Type-B sequencer's operand prefetch;
 //! * [`Platform`] — the MicroBlaze-level view: Type-A and Type-B control
 //!   hierarchies (Figs. 3 and 4), interrupt/accounting overheads, and the
 //!   level-1 drivers for torus exponentiation, ECC point/scalar operations
@@ -40,20 +48,20 @@
 #![warn(missing_docs)]
 
 mod coprocessor;
-mod cost;
+pub mod cost;
 mod hierarchy;
 pub mod isa;
 mod platform;
-mod programs;
+pub mod programs;
 mod report;
 pub mod schedule;
 
-pub use coprocessor::{Coprocessor, ModOpResult};
+pub use coprocessor::{sample_modulus, Coprocessor, ModOpResult};
 pub use cost::{CostModel, ScheduleModel};
 pub use hierarchy::{Hierarchy, SequenceOp, SequenceReport};
 pub use platform::Platform;
 pub use programs::{
-    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, SlotArena,
-    ECC_SLOTS, FP6_MUL_SLOTS,
+    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence,
+    independent_neighbour_pairs, SlotArena, ECC_SLOTS, FP6_MUL_SLOTS,
 };
 pub use report::ExecutionReport;

@@ -8,9 +8,14 @@
 //!
 //! * [`schedule_program`] — an in-order scoreboard for straight-line
 //!   [`Program`]s (used for the single-core modular addition/subtraction
-//!   microcode). Two issue pipes (memory and compute) each dispatch one
-//!   instruction per cycle in program order; register RAW/WAR hazards, the
-//!   accumulator drain and the serial borrow chain couple them.
+//!   microcode). A memory pipe and up to two compute pipes each dispatch
+//!   one instruction per cycle in program order; register RAW/WAR hazards,
+//!   the accumulator drain and the serial carry/borrow chains couple them.
+//!   When [`CostModel::dual_path_addsub`] is set, the speculative dual-path
+//!   adder's second compute pipe opens up: `SubB`/`Select` issue there
+//!   while `AddC` and everything else stay on the primary pipe, so the two
+//!   candidate paths of a modular addition (`a+b` and `a+b-p`) run in
+//!   parallel and only the single memory port bounds the operation.
 //! * [`MontPipeline`] — a per-iteration stage-occupancy model for the
 //!   multicore Montgomery multiplication of Algorithm 1/Fig. 5, tracking
 //!   the single memory port, each core's issue slots and the
@@ -18,6 +23,34 @@
 //!
 //! Both report the pure data-dependency critical path next to the
 //! schedule, so tests can pin `critical path ≤ pipelined (≤ sequential)`.
+//!
+//! # Example
+//!
+//! Price a two-word speculative addition step by hand: the `AddC` chain
+//! (primary path) and the `SubB` chain (speculative path) issue on
+//! different pipes, so each word costs one issue slot per path and the
+//! select commits one cycle later:
+//!
+//! ```
+//! use platform::isa::{MicroOp, Program};
+//! use platform::schedule::schedule_program;
+//! use platform::CostModel;
+//!
+//! let mut p = Program::new();
+//! for word in 0..2u8 {
+//!     p.push(MicroOp::LoadImm { dst: 0, imm: 7 });   // x word
+//!     p.push(MicroOp::LoadImm { dst: 1, imm: 9 });   // y word
+//!     p.push(MicroOp::LoadImm { dst: 4, imm: 13 });  // modulus word
+//!     p.push(MicroOp::AddC { dst: 2, a: 0, b: 1 });  // path A: x + y
+//!     p.push(MicroOp::SubB { dst: 3, a: 2, b: 4 });  // path B: (x+y) - p
+//!     p.push(MicroOp::Select { dst: 5, a: 2, b: 3 });
+//!     p.push(MicroOp::Store { src: 5, addr: word as u16 });
+//! }
+//! let dual = schedule_program(&p, &CostModel::paper());
+//! let single = schedule_program(&p, &CostModel::paper().with_dual_path(false));
+//! assert!(dual.cycles <= single.cycles);
+//! assert!(dual.cycles >= dual.critical_path);
+//! ```
 
 use crate::cost::CostModel;
 use crate::isa::{MicroOp, Program, NUM_REGS};
@@ -37,15 +70,21 @@ pub struct ProgramSchedule {
     pub mac_issues: u64,
 }
 
-/// In-order dual-pipe scoreboard state for one core.
+/// In-order multi-pipe scoreboard state for one core.
 struct Scoreboard {
     /// Apply structural constraints (pipe issue rates, single memory port)?
     /// With `false` the scoreboard computes the pure dataflow critical path.
     structural: bool,
+    /// Is the speculative dual-path adder's second compute pipe available?
+    /// `SubB` and `Select` issue there; everything else (including the MAC
+    /// and the accumulator) stays on the primary pipe, so MAC issue remains
+    /// bounded at one per cycle either way.
+    dual_pipes: bool,
     /// Next free cycle of the single data-memory port.
     mem_free: u64,
-    /// Next issue slot of the compute pipe (one instruction per cycle).
-    issue_free: u64,
+    /// Next issue slot of each compute pipe (one instruction per cycle).
+    /// `issue_free[1]` is only used when `dual_pipes` is set.
+    issue_free: [u64; 2],
     /// Cycle at which each register's value is available.
     reg_ready: [u64; NUM_REGS],
     /// Latest cycle at which each register was read (WAR guard).
@@ -57,6 +96,8 @@ struct Scoreboard {
     acc_barrier: u64,
     /// Completion of the latest borrow-chain instruction.
     borrow_ready: u64,
+    /// Completion of the latest carry-chain instruction (`AddC`).
+    carry_ready: u64,
     /// Makespan so far.
     finish: u64,
     /// Memory-port occupancy.
@@ -66,20 +107,29 @@ struct Scoreboard {
 }
 
 impl Scoreboard {
-    fn new(structural: bool) -> Self {
+    fn new(structural: bool, dual_pipes: bool) -> Self {
         Scoreboard {
             structural,
+            dual_pipes,
             mem_free: 0,
-            issue_free: 0,
+            issue_free: [0; 2],
             reg_ready: [0; NUM_REGS],
             reg_last_read: [0; NUM_REGS],
             acc_ready: 0,
             acc_barrier: 0,
             borrow_ready: 0,
+            carry_ready: 0,
             finish: 0,
             mem_busy: 0,
             mac_issues: 0,
         }
+    }
+
+    /// Compute pipe this instruction issues on: the speculative path's
+    /// chain (`SubB`) and the select mux live on the second pipe when the
+    /// dual-path adder is modelled.
+    fn pipe(&self, op: &MicroOp) -> usize {
+        usize::from(self.dual_pipes && (op.uses_borrow() || op.is_select()))
     }
 
     /// Earliest cycle at which `op`'s operands are available.
@@ -99,6 +149,9 @@ impl Scoreboard {
         if op.uses_borrow() {
             t = t.max(self.borrow_ready);
         }
+        if op.uses_carry() {
+            t = t.max(self.carry_ready);
+        }
         if let Some(dst) = op.dst_reg() {
             // WAR: do not clobber a value an earlier instruction still needs;
             // WAW: retire writes in order.
@@ -111,11 +164,12 @@ impl Scoreboard {
 
     fn issue(&mut self, op: &MicroOp, cost: &CostModel) {
         let ready = self.operands_ready(op);
+        let pipe = self.pipe(op);
         let start = if self.structural {
             if op.uses_memory() {
                 ready.max(self.mem_free)
             } else {
-                ready.max(self.issue_free)
+                ready.max(self.issue_free[pipe])
             }
         } else {
             ready
@@ -131,8 +185,8 @@ impl Scoreboard {
             self.mem_free = start + cost.mem_cycles;
             self.mem_busy += cost.mem_cycles;
         } else {
-            // One issue slot per cycle on the compute pipe.
-            self.issue_free = start + 1;
+            // One issue slot per cycle on the chosen compute pipe.
+            self.issue_free[pipe] = start + 1;
         }
         for src in op.src_regs().into_iter().flatten() {
             let slot = &mut self.reg_last_read[src as usize];
@@ -152,6 +206,9 @@ impl Scoreboard {
         if op.uses_borrow() {
             self.borrow_ready = done;
         }
+        if op.uses_carry() {
+            self.carry_ready = done;
+        }
         if op.is_mac() {
             self.mac_issues += 1;
         }
@@ -161,10 +218,12 @@ impl Scoreboard {
 
 /// Schedules a straight-line program on one core under the pipelined stage
 /// model, returning the makespan together with the data-dependency critical
-/// path and the memory-port occupancy.
+/// path and the memory-port occupancy. The second compute pipe (the
+/// speculative path of the dual-path adder) participates exactly when
+/// [`CostModel::is_dual_path`] holds.
 pub fn schedule_program(program: &Program, cost: &CostModel) -> ProgramSchedule {
-    let mut pipelined = Scoreboard::new(true);
-    let mut dataflow = Scoreboard::new(false);
+    let mut pipelined = Scoreboard::new(true, cost.is_dual_path());
+    let mut dataflow = Scoreboard::new(false, cost.is_dual_path());
     for op in program.ops() {
         pipelined.issue(op, cost);
         dataflow.issue(op, cost);
