@@ -4,6 +4,8 @@
 //!   flat sequential baseline, across operand lengths and MAC depths;
 //! * dual-path sweep — the speculative constant-time MA/MS adder against
 //!   the conditional-correction model, per Table 1/2 row;
+//! * mixed-PA sweep — the 13-MM mixed-coordinate point addition against
+//!   the general 16-MM Jacobian addition, per ECC row of Tables 2 and 3;
 //! * interrupt-cost sweep — where the Type-A bottleneck comes from and when
 //!   the two hierarchies cross over;
 //! * exponentiation window size for the torus;
@@ -20,10 +22,63 @@ use rand::SeedableRng;
 fn main() {
     schedule_sweep();
     dual_path_sweep();
+    pa_mixed_sweep();
     interrupt_sweep();
     window_sweep();
     core_sweep_rsa();
     future_work();
+}
+
+fn pa_mixed_sweep() {
+    // The Table 2 ECC fidelity ablation: the same point addition priced
+    // through the general 16-MM Jacobian sequence versus the 13-MM
+    // mixed-coordinate sequence the scalar ladder actually runs (affine
+    // addend, Z2 = 1). The last row propagates the delta into the Table 3
+    // scalar-multiplication latency via the ladder knob.
+    let mut rows = Vec::new();
+    let pa = |hierarchy: Hierarchy, mixed: bool| -> u64 {
+        let plat = Platform::new(CostModel::paper(), 4, hierarchy);
+        if mixed {
+            plat.ecc_point_addition_mixed_report(160).cycles
+        } else {
+            plat.ecc_point_addition_report(160).cycles
+        }
+    };
+    for (label, paper_cycles, hierarchy) in [
+        ("Type-A ECC PA", paper::ECC_PA_TYPE_A, Hierarchy::TypeA),
+        ("Type-B ECC PA", paper::ECC_PA_TYPE_B, Hierarchy::TypeB),
+    ] {
+        let general = pa(hierarchy, false);
+        let mixed = pa(hierarchy, true);
+        rows.push(Row {
+            label: format!("{label}: general {general}, mixed {mixed}"),
+            paper: format!("{paper_cycles}"),
+            measured: format!("{:+.1}%", delta_pct(general, mixed)),
+        });
+    }
+    // Full 160-bit ladder (Table 3): the knob swaps the PA sequence under
+    // the double-and-add driver; everything else is identical.
+    let curve = ecc::Curve::p160_reproduction().expect("built-in curve");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let point = curve.random_point(&mut rng);
+    let scalar = BigUint::random_bits(&mut rng, 160);
+    let ladder = |mixed: bool| -> u64 {
+        let cost = CostModel::paper().with_mixed_pa(mixed);
+        let plat = Platform::new(cost, 4, Hierarchy::TypeB);
+        plat.ecc_scalar_multiplication(&curve, &point, &scalar)
+            .1
+            .cycles
+    };
+    let (general, mixed) = (ladder(false), ladder(true));
+    rows.push(Row {
+        label: format!("160-bit scalar mult.: general {general}, mixed {mixed}"),
+        paper: format!("{:.1} ms", paper::ECC_MS),
+        measured: format!("{:+.1}%", delta_pct(general, mixed)),
+    });
+    print_table(
+        "Ablation: general Jacobian vs mixed-coordinate ECC point addition",
+        &rows,
+    );
 }
 
 fn dual_path_sweep() {

@@ -15,6 +15,13 @@
 //! regenerating the golden file with `--write-golden`, which shows up in
 //! review.
 //!
+//! When `$GITHUB_STEP_SUMMARY` is set (as it is inside every GitHub
+//! Actions job), the gate additionally appends a markdown **reproduction
+//! scorecard** to it — one row per gated metric with the model cycles,
+//! the paper's value and delta where the paper reports one, the golden
+//! drift against its tolerance, and a pass/fail verdict — so every PR
+//! shows the per-row accuracy without digging through logs.
+//!
 //! Usage:
 //!
 //! ```text
@@ -23,10 +30,97 @@
 //! cycle_gate --write-golden       # regenerate the golden file
 //! ```
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{json, metrics};
+use bench::{json, metrics, paper};
+
+/// One fully-evaluated scorecard row: a golden metric joined with its
+/// measurement and, where the paper reports the number, the paper value.
+struct ScoreRow {
+    name: String,
+    measured: u64,
+    golden: u64,
+    drift_pct: f64,
+    tolerance_pct: f64,
+    passed: bool,
+}
+
+impl ScoreRow {
+    /// Delta of the measured value against the paper's, when the metric
+    /// reproduces a published number.
+    fn paper_delta(&self) -> Option<(u64, f64)> {
+        let reference = paper::reference_cycles(&self.name)?;
+        let delta = 100.0 * (self.measured as f64 - reference as f64) / reference as f64;
+        Some((reference, delta))
+    }
+}
+
+/// Renders the markdown reproduction scorecard appended to
+/// `$GITHUB_STEP_SUMMARY`.
+fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
+    let mut out = String::from("## Cycle-accuracy scorecard\n\n");
+    out.push_str("| metric | model | paper | Δ paper | golden | drift | tol | status |\n");
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|:---:|\n");
+    for row in rows {
+        let (paper_col, delta_col) = match row.paper_delta() {
+            Some((reference, delta)) => (reference.to_string(), format!("{delta:+.1}%")),
+            None => ("—".to_string(), "—".to_string()),
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {:+.2}% | ±{}% | {} |\n",
+            row.name,
+            row.measured,
+            paper_col,
+            delta_col,
+            row.golden,
+            row.drift_pct,
+            row.tolerance_pct,
+            if row.passed { "✅" } else { "❌" },
+        ));
+    }
+    let verdict = if failures.is_empty() {
+        format!(
+            "\nAll {} metrics within tolerance. Paper deltas are relative to \
+             Tables 1–3 of the paper; golden drift is relative to the \
+             checked-in calibration (`crates/bench/golden/cycles.json`).\n",
+            rows.len()
+        )
+    } else {
+        let mut v = String::from("\n**Gate failed:**\n\n");
+        for f in failures {
+            v.push_str(&format!("- {f}\n"));
+        }
+        v
+    };
+    out.push_str(&verdict);
+    out
+}
+
+/// Appends the scorecard to `$GITHUB_STEP_SUMMARY` when the variable is
+/// set (i.e. when running inside a GitHub Actions step).
+fn publish_step_summary(rows: &[ScoreRow], failures: &[String]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let card = markdown_scorecard(rows, failures);
+    match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(card.as_bytes()) {
+                eprintln!("warning: cannot write step summary {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot open step summary {path}: {e}"),
+    }
+}
 
 /// Relative drift allowed for golden rows without an explicit tolerance,
 /// in percent.
@@ -84,6 +178,7 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse::<f64>().ok());
 
     let mut failures = Vec::new();
+    let mut score_rows = Vec::new();
     println!(
         "{:<26} {:>10} {:>10} {:>9} {:>7}",
         "metric", "golden", "measured", "drift", "tol"
@@ -117,6 +212,14 @@ fn main() -> ExitCode {
                         row.name, row.cycles
                     ));
                 }
+                score_rows.push(ScoreRow {
+                    name: row.name.clone(),
+                    measured: *got,
+                    golden: row.cycles,
+                    drift_pct,
+                    tolerance_pct,
+                    passed: ok,
+                });
             }
         }
     }
@@ -127,6 +230,8 @@ fn main() -> ExitCode {
             ));
         }
     }
+
+    publish_step_summary(&score_rows, &failures);
 
     if failures.is_empty() {
         println!(

@@ -53,6 +53,32 @@ pub mod paper {
 
     /// Section 3.3 / Fig. 5: speed-up of a 256-bit MM on 4 cores vs 1 core.
     pub const MULTICORE_SPEEDUP_4: f64 = 2.96;
+
+    /// The paper value a gated cycle metric reproduces, when the paper
+    /// reports one. Model-internal baselines (the sequential, conditional
+    /// and general-PA rows, the Fig. 5 core-count probes) return `None`:
+    /// they are gated for bit-identity as ablation anchors, not as
+    /// reproductions of a published number. The ECC PA rows of Table 2
+    /// map to the **mixed** metrics — the paper's cycle counts are only
+    /// consistent with the 13-MM mixed-coordinate sequence (see
+    /// DESIGN.md).
+    pub fn reference_cycles(metric: &str) -> Option<u64> {
+        match metric {
+            "interrupt_cycles" => Some(INTERRUPT_CYCLES),
+            "mm_170_pipelined" => Some(MM_170),
+            "mm_160_pipelined" => Some(MM_160),
+            "mm_1024_pipelined" => Some(MM_1024),
+            "ma_170_pipelined" => Some(MA_170),
+            "ms_170_pipelined" => Some(MS_170),
+            "t6_mult_type_a" => Some(T6_MULT_TYPE_A),
+            "t6_mult_type_b" => Some(T6_MULT_TYPE_B),
+            "ecc_pa_mixed_type_a" => Some(ECC_PA_TYPE_A),
+            "ecc_pa_mixed_type_b" => Some(ECC_PA_TYPE_B),
+            "ecc_pd_type_a" => Some(ECC_PD_TYPE_A),
+            "ecc_pd_type_b" => Some(ECC_PD_TYPE_B),
+            _ => None,
+        }
+    }
 }
 
 /// Minimal flat-JSON plumbing for the cycle-accuracy gate (the build
@@ -291,6 +317,17 @@ pub mod metrics {
                 "ecc_pd_type_b",
                 type_b.ecc_point_doubling_report(160).cycles,
             ),
+            // The mixed-coordinate PA rows are the Table 2 reproduction;
+            // the general rows above stay gated bit-identical as the
+            // coordinate-form ablation baseline.
+            m(
+                "ecc_pa_mixed_type_a",
+                type_a.ecc_point_addition_mixed_report(160).cycles,
+            ),
+            m(
+                "ecc_pa_mixed_type_b",
+                type_b.ecc_point_addition_mixed_report(160).cycles,
+            ),
         ];
         out.sort();
         out
@@ -418,6 +455,37 @@ mod tests {
         // Every collected metric gets some positive tolerance.
         for (name, _) in metrics::collect() {
             assert!(metrics::tolerance_pct(&name) > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn paper_references_attach_to_real_metrics() {
+        // The Table 2 ECC PA reproduction is the mixed sequence; the
+        // general rows are gated baselines with no paper counterpart.
+        assert_eq!(paper::reference_cycles("ecc_pa_mixed_type_b"), Some(2888));
+        assert_eq!(paper::reference_cycles("ecc_pa_mixed_type_a"), Some(7185));
+        assert_eq!(paper::reference_cycles("ecc_pa_type_b"), None);
+        assert_eq!(paper::reference_cycles("mm_170_sequential"), None);
+        assert_eq!(paper::reference_cycles("ma_170_conditional_worst"), None);
+        // Every metric with a paper reference is actually collected, so
+        // the scorecard can never carry a dangling paper column.
+        let collected = metrics::collect();
+        for name in [
+            "interrupt_cycles",
+            "mm_170_pipelined",
+            "mm_160_pipelined",
+            "mm_1024_pipelined",
+            "ma_170_pipelined",
+            "ms_170_pipelined",
+            "t6_mult_type_a",
+            "t6_mult_type_b",
+            "ecc_pa_mixed_type_a",
+            "ecc_pa_mixed_type_b",
+            "ecc_pd_type_a",
+            "ecc_pd_type_b",
+        ] {
+            assert!(paper::reference_cycles(name).is_some(), "{name}");
+            assert!(collected.iter().any(|(k, _)| k == name), "{name}");
         }
     }
 

@@ -350,6 +350,54 @@ impl Curve {
         }
     }
 
+    /// Mixed-coordinate point addition: Jacobian `p` plus **affine** `q`
+    /// (the `Z2 = 1` special case of [`Curve::jacobian_add`]).
+    ///
+    /// This is the addition the scalar-multiplication ladder performs on
+    /// every set bit — the addend is the one-time-normalized base point —
+    /// and the shape the platform's 13-multiplication
+    /// `ecc_pa_mixed_sequence` prices: `Z2 = 1` makes `U1 = X1` and
+    /// `S1 = Y1`, eliminating three of the general sequence's Montgomery
+    /// products and collapsing the `Z3` tail to `2·Z1·H`. Functionally it
+    /// agrees with `jacobian_add(p, to_jacobian(q))` on all inputs,
+    /// including the degenerate ones (either operand at infinity, `q = ±p`).
+    pub fn jacobian_add_mixed(&self, p: &JacobianPoint, q: &AffinePoint) -> JacobianPoint {
+        let fp = &self.fp;
+        let (x2, y2) = match q.coordinates() {
+            None => return p.clone(),
+            Some(c) => c,
+        };
+        if p.is_infinity() {
+            return self.to_jacobian(q);
+        }
+        let z1z1 = fp.square(&p.z);
+        let u2 = fp.mul(x2, &z1z1);
+        let s2 = fp.mul(y2, &fp.mul(&p.z, &z1z1));
+        if u2 == p.x {
+            if s2 == p.y {
+                return self.jacobian_double(p);
+            }
+            return JacobianPoint {
+                x: fp.one(),
+                y: fp.one(),
+                z: fp.zero(),
+            };
+        }
+        let h = fp.sub(&u2, &p.x);
+        let i = fp.square(&fp.double(&h));
+        let j = fp.mul(&h, &i);
+        let r = fp.double(&fp.sub(&s2, &p.y));
+        let v = fp.mul(&p.x, &i);
+        let x3 = fp.sub(&fp.sub(&fp.square(&r), &j), &fp.double(&v));
+        let y3 = fp.sub(&fp.mul(&r, &fp.sub(&v, &x3)), &fp.double(&fp.mul(&p.y, &j)));
+        let z3 = fp.double(&fp.mul(&p.z, &h));
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
     /// Compresses a finite point to `(x, parity-of-y)`.
     ///
     /// # Errors

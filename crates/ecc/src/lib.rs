@@ -39,4 +39,6 @@ pub use curve::Curve;
 pub use ecdh::EccKeyPair;
 pub use error::EccError;
 pub use point::{AffinePoint, JacobianPoint};
-pub use scalar::{naf_digits, scalar_mul, scalar_mul_base, ScalarMulAlgorithm};
+pub use scalar::{
+    affine_window_table, naf_digits, scalar_mul, scalar_mul_base, ScalarMulAlgorithm,
+};

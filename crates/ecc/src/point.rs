@@ -1,6 +1,6 @@
 //! Point representations: affine and Jacobian projective coordinates.
 
-use field::FpElement;
+use field::{FpContext, FpElement};
 
 /// A point on a short-Weierstrass curve in affine coordinates.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -56,6 +56,15 @@ impl JacobianPoint {
     /// Returns `true` for the point at infinity.
     pub fn is_infinity(&self) -> bool {
         self.z.is_zero()
+    }
+
+    /// Returns `true` when this point is in normalized (affine) form,
+    /// `Z = 1` — the representation the mixed-coordinate addition
+    /// (`Curve::jacobian_add_mixed` and the platform's `pa_mixed`
+    /// sequence) requires of its second operand. The scalar ladder
+    /// maintains this invariant for its addend by construction.
+    pub fn is_normalized(&self, fp: &FpContext) -> bool {
+        self.z == fp.one()
     }
 }
 

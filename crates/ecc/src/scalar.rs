@@ -2,8 +2,17 @@
 //!
 //! The full 160-bit scalar multiplication is the operation behind Table 3's
 //! "160-bit ECC: 9.4 ms" row. Three classic algorithms are provided so the
-//! benchmark harness can ablate over them; all work on Jacobian coordinates
-//! and convert back to affine once at the end.
+//! benchmark harness can ablate over them; all accumulate in Jacobian
+//! coordinates and convert back to affine once at the end.
+//!
+//! Every ladder keeps its **addend affine** and adds through the
+//! mixed-coordinate formulas ([`Curve::jacobian_add_mixed`], `Z2 = 1`):
+//! the double-and-add and NAF ladders add the (already affine) base point
+//! or its negation, and the windowed ladder normalizes its precomputed
+//! table once ([`affine_window_table`]) before the main loop. This is the
+//! access pattern the platform's 13-multiplication `pa_mixed` sequence
+//! prices; the general Jacobian addition ([`Curve::jacobian_add`]) remains
+//! the fallback for operands that are not in normalized form.
 
 use bignum::BigUint;
 
@@ -51,12 +60,13 @@ pub fn scalar_mul_base(curve: &Curve, k: &BigUint) -> AffinePoint {
 }
 
 fn double_and_add(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPoint {
-    let p = curve.to_jacobian(point);
+    // The addend is the base point itself: already affine, so every
+    // addition is a mixed addition.
     let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
     for i in (0..k.bit_len()).rev() {
         acc = curve.jacobian_double(&acc);
         if k.bit(i) {
-            acc = curve.jacobian_add(&acc, &p);
+            acc = curve.jacobian_add_mixed(&acc, point);
         }
     }
     acc
@@ -88,31 +98,43 @@ pub fn naf_digits(k: &BigUint) -> Vec<i8> {
 }
 
 fn naf_mul(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPoint {
+    // Both addends (±P) are affine: negation does not disturb `Z = 1`.
     let digits = naf_digits(k);
-    let p = curve.to_jacobian(point);
-    let neg_p = curve.to_jacobian(&curve.negate(point));
+    let neg_p = curve.negate(point);
     let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
     for &d in digits.iter().rev() {
         acc = curve.jacobian_double(&acc);
         match d {
-            1 => acc = curve.jacobian_add(&acc, &p),
-            -1 => acc = curve.jacobian_add(&acc, &neg_p),
+            1 => acc = curve.jacobian_add_mixed(&acc, point),
+            -1 => acc = curve.jacobian_add_mixed(&acc, &neg_p),
             _ => {}
         }
     }
     acc
 }
 
-fn window_mul(curve: &Curve, point: &AffinePoint, k: &BigUint, window: usize) -> JacobianPoint {
-    // Precompute 1·P .. (2^w - 1)·P.
+/// Precomputes the windowed ladder's table `[O, P, 2P, .., (2^w - 1)·P]`
+/// with every entry **normalized to affine form** — the one-time
+/// normalization that lets the main loop use mixed additions only. Exposed
+/// so tests can pin the ladder invariant (every addend is affine and the
+/// correct multiple) without re-deriving the table.
+pub fn affine_window_table(curve: &Curve, point: &AffinePoint, window: usize) -> Vec<AffinePoint> {
     let table_len = 1usize << window;
     let mut table = Vec::with_capacity(table_len);
-    table.push(curve.to_jacobian(&AffinePoint::Infinity));
-    table.push(curve.to_jacobian(point));
+    table.push(AffinePoint::Infinity);
+    table.push(point.clone());
     for i in 2..table_len {
-        let prev = &table[i - 1];
-        table.push(curve.jacobian_add(prev, &table[1]));
+        // Build in Jacobian, normalize immediately: the table is built
+        // once per scalar multiplication, so the per-entry inversion is
+        // the one-time cost that buys mixed additions in the main loop.
+        let next = curve.jacobian_add_mixed(&curve.to_jacobian(&table[i - 1]), point);
+        table.push(curve.to_affine(&next));
     }
+    table
+}
+
+fn window_mul(curve: &Curve, point: &AffinePoint, k: &BigUint, window: usize) -> JacobianPoint {
+    let table = affine_window_table(curve, point, window);
     // Process the scalar in w-bit chunks, most significant first.
     let chunks = k.bit_len().div_ceil(window);
     let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
@@ -125,7 +147,7 @@ fn window_mul(curve: &Curve, point: &AffinePoint, k: &BigUint, window: usize) ->
             digit = (digit << 1) | k.bit(chunk * window + b) as usize;
         }
         if digit != 0 {
-            acc = curve.jacobian_add(&acc, &table[digit]);
+            acc = curve.jacobian_add_mixed(&acc, &table[digit]);
         }
     }
     acc

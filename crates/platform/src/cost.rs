@@ -20,15 +20,24 @@
 //!    per-stage occupancy, so independent events overlap exactly as the
 //!    FPGA's RTL overlaps them. This puts the 170-bit MM at 198 cycles,
 //!    within ~3% of Table 1.
-//! 3. **Dual-path MA/MS** ([`CostModel::dual_path_addsub`], the last
-//!    structural layer) — modular addition/subtraction run as a
-//!    speculative constant-time adder: the plain result and the corrected
-//!    result (`a+b` and `a+b-p`, or `a-b` and `a-b+p`) are computed in
-//!    parallel on the two compute pipes and a 1-cycle select commits the
-//!    reduced one, instead of a data-dependent correction branch. This is
-//!    what closes the Table 2 composite rows to within ±5% of the paper.
+//! 3. **Dual-path MA/MS** ([`CostModel::dual_path_addsub`]) — modular
+//!    addition/subtraction run as a speculative constant-time adder: the
+//!    plain result and the corrected result (`a+b` and `a+b-p`, or `a-b`
+//!    and `a-b+p`) are computed in parallel on the two compute pipes and a
+//!    1-cycle select commits the reduced one, instead of a data-dependent
+//!    correction branch. This is what closes the Table 2 torus rows to
+//!    within ±5% of the paper.
+//! 4. **Mixed-coordinate ECC point addition**
+//!    ([`CostModel::mixed_coordinate_pa`], the last sequence-level layer) —
+//!    the scalar-multiplication ladder's point addition uses the
+//!    13-multiplication mixed sequence (`Z2 = 1`, affine addend;
+//!    `platform::programs::ecc_pa_mixed_sequence`) instead of the general
+//!    16-multiplication Jacobian addition. This is what closes Table 2's
+//!    ECC PA rows. The general sequence stays available regardless of the
+//!    knob (for non-normalized inputs and for the `pa_mixed_sweep`
+//!    ablation); the knob selects which sequence the *ladder driver* runs.
 //!
-//! [`CostModel::paper`] enables layers 2 and 3 together.
+//! [`CostModel::paper`] enables layers 2–4 together.
 //!
 //! # Example
 //!
@@ -98,6 +107,13 @@ pub struct CostModel {
     /// primary pass (the pre-dual-path behaviour, kept for ablations).
     /// Only consulted by the pipelined schedule.
     pub dual_path_addsub: bool,
+    /// Drive the scalar-multiplication ladder's point additions with the
+    /// mixed-coordinate sequence (affine addend, 13 MM) instead of the
+    /// general Jacobian addition (16 MM). The ladder always keeps its
+    /// addend affine, so the substitution is exact; with `false` the
+    /// ladder runs the general sequence (the pre-mixed behaviour, kept
+    /// for ablations and as the fallback for non-normalized inputs).
+    pub mixed_coordinate_pa: bool,
     /// Which schedule combines the per-event costs above.
     pub schedule: ScheduleModel,
 }
@@ -117,6 +133,7 @@ impl CostModel {
             word_bits: 16,
             mac_pipeline_depth: 2,
             dual_path_addsub: true,
+            mixed_coordinate_pa: true,
             schedule: ScheduleModel::Pipelined,
         }
     }
@@ -129,6 +146,7 @@ impl CostModel {
         CostModel {
             schedule: ScheduleModel::Sequential,
             dual_path_addsub: false,
+            mixed_coordinate_pa: false,
             ..CostModel::paper()
         }
     }
@@ -152,6 +170,24 @@ impl CostModel {
     /// baseline always charges the correction block).
     pub fn is_dual_path(&self) -> bool {
         self.dual_path_addsub && self.is_pipelined()
+    }
+
+    /// Returns this model with the ladder's point addition switched between
+    /// the mixed-coordinate sequence (`true`) and the general Jacobian
+    /// sequence (`false`, the ablation baseline).
+    pub fn with_mixed_pa(self, mixed_coordinate_pa: bool) -> Self {
+        CostModel {
+            mixed_coordinate_pa,
+            ..self
+        }
+    }
+
+    /// Returns `true` if the scalar-multiplication ladder drives its point
+    /// additions through the mixed-coordinate sequence. Unlike the
+    /// dual-path knob this is a *sequence* choice, not a schedule choice,
+    /// so it is honoured under both schedules.
+    pub fn uses_mixed_pa(&self) -> bool {
+        self.mixed_coordinate_pa
     }
 
     /// Returns `true` if the pipelined schedule is selected.
@@ -197,11 +233,24 @@ mod tests {
         assert_eq!(seq.schedule, ScheduleModel::Sequential);
         assert!(!seq.is_pipelined());
         assert!(!seq.is_dual_path());
+        assert!(!seq.uses_mixed_pa());
         assert_eq!(
             seq.with_schedule(ScheduleModel::Pipelined)
-                .with_dual_path(true),
+                .with_dual_path(true)
+                .with_mixed_pa(true),
             CostModel::paper()
         );
+    }
+
+    #[test]
+    fn mixed_pa_is_a_sequence_choice_not_a_schedule_choice() {
+        assert!(CostModel::paper().uses_mixed_pa());
+        assert!(!CostModel::paper().with_mixed_pa(false).uses_mixed_pa());
+        // Unlike dual-path, the knob survives a schedule switch: the mixed
+        // sequence is valid microcode under the sequential model too.
+        assert!(CostModel::paper_sequential()
+            .with_mixed_pa(true)
+            .uses_mixed_pa());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The Type-A / Type-B control hierarchies (Figs. 3 and 4).
 //!
-//! A composite operation (an `Fp6` multiplication, an ECC point addition or
+//! A composite operation (an `Fp6` multiplication, an ECC point addition —
+//! general Jacobian or the ladder's mixed-coordinate variant — or a
 //! doubling) is a *sequence* of modular multiplications, additions and
 //! subtractions over operands held in the coprocessor data memory. The two
 //! hierarchies differ only in who walks that sequence:

@@ -61,7 +61,7 @@ pub use cost::{CostModel, ScheduleModel};
 pub use hierarchy::{Hierarchy, SequenceOp, SequenceReport};
 pub use platform::Platform;
 pub use programs::{
-    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence,
-    independent_neighbour_pairs, SlotArena, ECC_SLOTS, FP6_MUL_SLOTS,
+    count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_sequence,
+    fp6_mul_sequence, independent_neighbour_pairs, SlotArena, ECC_SLOTS, FP6_MUL_SLOTS,
 };
 pub use report::ExecutionReport;

@@ -9,7 +9,8 @@ use crate::coprocessor::Coprocessor;
 use crate::cost::CostModel;
 use crate::hierarchy::{Hierarchy, SequenceEngine, SequenceOp};
 use crate::programs::{
-    ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, ECC_SLOTS, FP6_MUL_SLOTS,
+    ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, ECC_SLOTS,
+    FP6_MUL_SLOTS,
 };
 use crate::report::ExecutionReport;
 
@@ -145,9 +146,18 @@ impl Platform {
         self.composite_report(bits, &fp6_mul_sequence(), FP6_MUL_SLOTS)
     }
 
-    /// Cycle accounting of one ECC point addition at `bits` operand length.
+    /// Cycle accounting of one **general** (16-MM Jacobian) ECC point
+    /// addition at `bits` operand length.
     pub fn ecc_point_addition_report(&self, bits: usize) -> ExecutionReport {
         self.composite_report(bits, &ecc_pa_sequence(), ECC_SLOTS)
+    }
+
+    /// Cycle accounting of one **mixed-coordinate** (13-MM, affine addend)
+    /// ECC point addition at `bits` operand length — the sequence the
+    /// scalar ladder runs and the one Table 2's ECC PA rows are calibrated
+    /// against.
+    pub fn ecc_point_addition_mixed_report(&self, bits: usize) -> ExecutionReport {
+        self.composite_report(bits, &ecc_pa_mixed_sequence(), ECC_SLOTS)
     }
 
     /// Cycle accounting of one ECC point doubling at `bits` operand length.
@@ -182,6 +192,59 @@ impl Platform {
         let report = self
             .engine
             .run(&self.coprocessor, &modulus, &mut slots, &ecc_pa_sequence());
+        let out = JacobianPoint {
+            x: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[6], &modulus)),
+            y: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[7], &modulus)),
+            z: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[8], &modulus)),
+        };
+        (out, report)
+    }
+
+    /// Executes one mixed-coordinate point addition on the platform:
+    /// Jacobian `p` plus the **affine** addend `q` (`Z2 = 1`), the
+    /// 13-multiplication sequence the scalar ladder runs.
+    ///
+    /// As on the real platform the affine operand is stored in **plain**
+    /// (canonical) form — it is the public base point, written once by the
+    /// MicroBlaze — and the sequence itself lifts it into the Montgomery
+    /// domain with the preloaded `R² mod p` constant (slot 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is the point at infinity: the mixed sequence, like
+    /// every InsRom program, has no data-dependent control flow and cannot
+    /// represent the identity; the ladder never presents it.
+    pub fn run_ecc_point_addition_mixed(
+        &self,
+        curve: &Curve,
+        p: &JacobianPoint,
+        q: &AffinePoint,
+    ) -> (JacobianPoint, ExecutionReport) {
+        let (qx, qy) = q
+            .coordinates()
+            .expect("the mixed PA sequence needs a finite affine addend");
+        let modulus = curve.fp().modulus().clone();
+        let mut slots = vec![BigUint::zero(); ECC_SLOTS];
+        for (i, c) in [&p.x, &p.y, &p.z].iter().enumerate() {
+            slots[i] = self.to_domain(&curve.fp().to_biguint(c), &modulus);
+        }
+        // Affine operand in plain form plus the Montgomery lift constant.
+        slots[3] = curve.fp().to_biguint(qx);
+        slots[4] = curve.fp().to_biguint(qy);
+        let r_mod = self.platform_r(&modulus);
+        slots[5] = mod_mul(&r_mod, &r_mod, &modulus);
+        let report = self.engine.run(
+            &self.coprocessor,
+            &modulus,
+            &mut slots,
+            &ecc_pa_mixed_sequence(),
+        );
         let out = JacobianPoint {
             x: curve
                 .fp()
@@ -256,6 +319,14 @@ impl Platform {
     /// Executes a full ECC scalar multiplication (Jacobian double-and-add)
     /// on the platform.
     ///
+    /// The addend of every point addition is the base point itself, which
+    /// arrives affine and stays affine — so when the cost model selects
+    /// the mixed-coordinate layer ([`CostModel::uses_mixed_pa`], on in
+    /// [`CostModel::paper`]) the ladder drives the 13-multiplication
+    /// `pa_mixed` sequence; with the knob off it runs the general 16-MM
+    /// Jacobian addition (the pre-mixed baseline, kept selectable for the
+    /// `pa_mixed_sweep` ablation).
+    ///
     /// # Panics
     ///
     /// Panics if `point` is the point at infinity (the paper's sequences
@@ -270,6 +341,7 @@ impl Platform {
             !point.is_infinity(),
             "the platform PA/PD sequences need a finite base point"
         );
+        let mixed = self.cost().uses_mixed_pa();
         let mut report = ExecutionReport::default();
         let jp = curve.to_jacobian(point);
         let mut acc: Option<JacobianPoint> = None;
@@ -283,7 +355,11 @@ impl Platform {
                 acc = Some(match acc.take() {
                     None => jp.clone(),
                     Some(cur) => {
-                        let (sum, r) = self.run_ecc_point_addition(curve, &cur, &jp);
+                        let (sum, r) = if mixed {
+                            self.run_ecc_point_addition_mixed(curve, &cur, point)
+                        } else {
+                            self.run_ecc_point_addition(curve, &cur, &jp)
+                        };
                         report = report.merge(&r);
                         sum
                     }
@@ -374,9 +450,53 @@ mod tests {
             let jq = curve.to_jacobian(&q);
             let (sum, _) = plat.run_ecc_point_addition(&curve, &jp, &jq);
             assert_eq!(curve.to_affine(&sum), curve.add(&p, &q));
+            let (mixed, _) = plat.run_ecc_point_addition_mixed(&curve, &jp, &q);
+            assert_eq!(curve.to_affine(&mixed), curve.add(&p, &q));
             let (dbl, _) = plat.run_ecc_point_doubling(&curve, &jp);
             assert_eq!(curve.to_affine(&dbl), curve.double(&p));
         }
+    }
+
+    #[test]
+    fn mixed_pa_agrees_with_general_pa_and_is_cheaper() {
+        // The mixed sequence must compute the exact same sum as the
+        // general one whenever the addend is affine (`Z2 = 1`) — that is
+        // the substitution the ladder makes — while costing fewer cycles
+        // under both hierarchies.
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(206);
+        for hierarchy in [Hierarchy::TypeA, Hierarchy::TypeB] {
+            let plat = platform(hierarchy);
+            let p = curve.random_point(&mut rng);
+            let q = curve.random_point(&mut rng);
+            let jp = curve.to_jacobian(&p);
+            let (general, rg) = plat.run_ecc_point_addition(&curve, &jp, &curve.to_jacobian(&q));
+            let (mixed, rm) = plat.run_ecc_point_addition_mixed(&curve, &jp, &q);
+            assert_eq!(curve.to_affine(&general), curve.to_affine(&mixed));
+            assert!(rm.cycles < rg.cycles);
+            assert_eq!(rm.modmuls, 13);
+            assert_eq!(rg.modmuls, 16);
+        }
+    }
+
+    #[test]
+    fn ladder_obeys_the_mixed_pa_knob() {
+        // Same scalar, same point: the mixed and general ladders must
+        // agree functionally, with the mixed one strictly cheaper and its
+        // PA cost matching the mixed composite report.
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(207);
+        let p = curve.random_point(&mut rng);
+        let k = BigUint::from(0b1011_0110_1101u64);
+        let mixed = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+        let general = Platform::new(CostModel::paper().with_mixed_pa(false), 4, Hierarchy::TypeB);
+        let (pm, rm) = mixed.ecc_scalar_multiplication(&curve, &p, &k);
+        let (pg, rg) = general.ecc_scalar_multiplication(&curve, &p, &k);
+        assert_eq!(pm, pg);
+        assert!(rm.cycles < rg.cycles);
+        // 8 set bits → 7 additions (the first set bit loads the base
+        // point); 3 MM saved per addition.
+        assert_eq!(rg.modmuls - rm.modmuls, 7 * 3);
     }
 
     #[test]
@@ -444,7 +564,7 @@ mod tests {
         // what matters (CEILIDH beats RSA, ECC beats CEILIDH).
         let plat = platform(Hierarchy::TypeB);
         let t6_mult = plat.fp6_multiplication_report(170).cycles;
-        let pa = plat.ecc_point_addition_report(160).cycles;
+        let pa = plat.ecc_point_addition_mixed_report(160).cycles;
         let pd = plat.ecc_point_doubling_report(160).cycles;
         let mm1024 = plat.montgomery_multiplication_report(1024).cycles + plat.interrupt_cycles();
 

@@ -8,8 +8,8 @@ use bignum::BigUint;
 use ceilidh::CeilidhParams;
 use platform::isa::{Core, MicroOp, Program};
 use platform::{
-    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, Coprocessor,
-    CostModel, Hierarchy, Platform,
+    count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_sequence,
+    fp6_mul_sequence, Coprocessor, CostModel, Hierarchy, Platform,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== level 2: InsRom1 sequences ==");
     for (name, seq) in [
         ("Fp6 (T6) multiplication", fp6_mul_sequence()),
-        ("ECC point addition", ecc_pa_sequence()),
+        ("ECC point addition (general)", ecc_pa_sequence()),
+        (
+            "ECC point addition (mixed, ladder)",
+            ecc_pa_mixed_sequence(),
+        ),
         ("ECC point doubling", ecc_pd_sequence()),
     ] {
         println!(
