@@ -1,0 +1,80 @@
+//! Criterion bench behind the compile-once program layer: the cost of
+//! rebuilding and re-scheduling a level-2 sequence on every call (the
+//! pre-IR behaviour) versus fetching the `CompiledProgram` from the
+//! `ProgramCache`, and the end-to-end effect on a full scalar
+//! multiplication.
+
+use bignum::BigUint;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecc::Curve;
+use platform::{compile, sample_modulus, CostModel, Hierarchy, OpKind, Platform};
+use std::time::Duration;
+
+/// One compiled-program execution worth of probe state.
+fn probe_slots(n: usize) -> Vec<BigUint> {
+    (0..n)
+        .map(|i| BigUint::from((i % 251 + 1) as u64))
+        .collect()
+}
+
+fn bench_compile_vs_cache(c: &mut Criterion) {
+    let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    let cost = *plat.cost();
+    let modulus = sample_modulus(160);
+    let mut group = c.benchmark_group("program_cache/pd_fast");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
+    // The legacy shape: author + compile + schedule the sequence on every
+    // iteration, then execute it.
+    group.bench_function("compile_every_iteration", |b| {
+        b.iter(|| {
+            let program = compile(OpKind::EccPdFast, 160, &cost);
+            let mut slots = probe_slots(program.slot_budget());
+            black_box(plat.execute(&program, &modulus, &mut slots))
+        })
+    });
+    // The compile-once shape: every iteration is a cache hit.
+    group.bench_function("cache_reuse", |b| {
+        b.iter(|| {
+            let program = plat.compiled(OpKind::EccPdFast, 160);
+            let mut slots = probe_slots(program.slot_budget());
+            black_box(plat.execute(&program, &modulus, &mut slots))
+        })
+    });
+    // Compilation alone, for scale (this is what every ladder step used
+    // to pay implicitly by rebuilding the sequence vector).
+    group.bench_function("compile_only", |b| {
+        b.iter(|| black_box(compile(OpKind::Fp6Mul, 170, &cost)))
+    });
+    group.finish();
+}
+
+fn bench_ladder_end_to_end(c: &mut Criterion) {
+    let curve = Curve::p160_reproduction().expect("built-in curve");
+    let point = curve.base_point().clone();
+    let k = BigUint::from(0x5ee5_c0de_dead_beefu64);
+    let mut group = c.benchmark_group("program_cache/scalar_mult_64bit");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1));
+    // Warm cache (the production path): programs compiled once up front.
+    let warm = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    warm.ecc_scalar_multiplication(&curve, &point, &k);
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| black_box(warm.ecc_scalar_multiplication(&curve, &point, &k)))
+    });
+    // Fresh platform per iteration: pays both compilations inside the
+    // timed region (the closest analogue of the pre-IR rebuild cost that
+    // still goes through the public API).
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let plat = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+            black_box(plat.ecc_scalar_multiplication(&curve, &point, &k))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_vs_cache, bench_ladder_end_to_end);
+criterion_main!(benches);

@@ -6,6 +6,9 @@
 //!   the conditional-correction model, per Table 1/2 row;
 //! * mixed-PA sweep — the 13-MM mixed-coordinate point addition against
 //!   the general 16-MM Jacobian addition, per ECC row of Tables 2 and 3;
+//! * fast-PD sweep — the 8-MM shortened `a = -3` doubling against the
+//!   general 10-MM Jacobian doubling, per ECC row of Tables 2 and 3,
+//!   plus the compiler's scheduling win on the sequence itself;
 //! * interrupt-cost sweep — where the Type-A bottleneck comes from and when
 //!   the two hierarchies cross over;
 //! * exponentiation window size for the torus;
@@ -23,10 +26,83 @@ fn main() {
     schedule_sweep();
     dual_path_sweep();
     pa_mixed_sweep();
+    pd_fast_sweep();
     interrupt_sweep();
     window_sweep();
     core_sweep_rsa();
     future_work();
+}
+
+fn pd_fast_sweep() {
+    // The Table 2 ECC PD ablation: the same doubling priced through the
+    // general 10-MM Jacobian sequence versus the shortened 8-MM a = -3
+    // sequence. The Type-A delta is the fidelity story (the paper's 5793
+    // row matches the fast sequence); the last rows propagate the delta
+    // into the Table 3 scalar-multiplication latency via the ladder knob
+    // and show the compiler's scheduling win on the sequence itself.
+    let mut rows = Vec::new();
+    let pd = |hierarchy: Hierarchy, fast: bool| -> u64 {
+        let plat = Platform::new(CostModel::paper(), 4, hierarchy);
+        if fast {
+            plat.ecc_point_doubling_fast_report(160).cycles
+        } else {
+            plat.ecc_point_doubling_report(160).cycles
+        }
+    };
+    for (label, paper_cycles, hierarchy) in [
+        ("Type-A ECC PD", paper::ECC_PD_TYPE_A, Hierarchy::TypeA),
+        ("Type-B ECC PD", paper::ECC_PD_TYPE_B, Hierarchy::TypeB),
+    ] {
+        let general = pd(hierarchy, false);
+        let fast = pd(hierarchy, true);
+        rows.push(Row {
+            label: format!("{label}: general {general}, fast {fast}"),
+            paper: format!("{paper_cycles}"),
+            measured: format!("{:+.1}%", delta_pct(general, fast)),
+        });
+    }
+    // The compiler's reordering pass on the fast sequence: hazard-free
+    // neighbour pairs before and after scheduling.
+    let compiled = platform::compile(platform::OpKind::EccPdFast, 160, &CostModel::paper());
+    let reorder = compiled
+        .passes()
+        .iter()
+        .find(|p| p.pass == "reorder")
+        .expect("fast PD is scheduled");
+    rows.push(Row {
+        label: format!(
+            "fast PD prefetch pairs: authored {}, scheduled {}",
+            reorder.pairs_before, reorder.pairs_after
+        ),
+        paper: "-".into(),
+        measured: format!(
+            "{:+.1}%",
+            delta_pct(reorder.pairs_before as u64, reorder.pairs_after as u64)
+        ),
+    });
+    // Full 160-bit ladder (Table 3): the knob swaps the PD sequence under
+    // the double-and-add driver; everything else is identical.
+    let curve = ecc::Curve::p160_reproduction().expect("built-in curve");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let point = curve.random_point(&mut rng);
+    let scalar = BigUint::random_bits(&mut rng, 160);
+    let ladder = |fast: bool| -> u64 {
+        let cost = CostModel::paper().with_fast_pd(fast);
+        let plat = Platform::new(cost, 4, Hierarchy::TypeB);
+        plat.ecc_scalar_multiplication(&curve, &point, &scalar)
+            .1
+            .cycles
+    };
+    let (general, fast) = (ladder(false), ladder(true));
+    rows.push(Row {
+        label: format!("160-bit scalar mult.: general {general}, fast {fast}"),
+        paper: format!("{:.1} ms", paper::ECC_MS),
+        measured: format!("{:+.1}%", delta_pct(general, fast)),
+    });
+    print_table(
+        "Ablation: general Jacobian vs fast a=-3 ECC point doubling",
+        &rows,
+    );
 }
 
 fn pa_mixed_sweep() {

@@ -21,6 +21,16 @@ pub struct Curve {
     base: AffinePoint,
     order: Option<BigUint>,
     name: &'static str,
+    // Whether a ≡ -3 (mod p), precomputed so the per-doubling dispatch
+    // to the shortened formulas costs a bool instead of a conversion.
+    a_minus_three: bool,
+}
+
+/// Computes the [`Curve::a_is_minus_three`] invariant once, at
+/// construction time.
+fn a_is_minus_three(fp: &FpContext, a: &FpElement) -> bool {
+    let p = fp.modulus();
+    *p > BigUint::from(3u64) && fp.to_biguint(a) == p - &BigUint::from(3u64)
 }
 
 impl std::fmt::Debug for Curve {
@@ -60,6 +70,7 @@ impl Curve {
         if disc.is_zero() {
             return Err(EccError::InvalidCurve("curve is singular"));
         }
+        let a_minus_three = a_is_minus_three(&fp, &a);
         let curve = Curve {
             fp: fp.clone(),
             a,
@@ -67,6 +78,7 @@ impl Curve {
             base: AffinePoint::Infinity,
             order,
             name,
+            a_minus_three,
         };
         let base = curve.lift(&fp.from_biguint(base_x), &fp.from_biguint(base_y))?;
         Ok(Curve { base, ..curve })
@@ -90,13 +102,16 @@ impl Curve {
         let b = BigUint::from(7u64);
         // Base point found by scanning x = 1, 2, ... for a quadratic residue.
         let fp = FpContext::new(&p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
+        let a_elem = fp.from_biguint(&a);
+        let a_minus_three = a_is_minus_three(&fp, &a_elem);
         let curve_no_base = Curve {
             fp: fp.clone(),
-            a: fp.from_biguint(&a),
+            a: a_elem,
             b: fp.from_biguint(&b),
             base: AffinePoint::Infinity,
             order: None,
             name: "p160-reproduction",
+            a_minus_three,
         };
         let base = curve_no_base
             .find_point_from(1)
@@ -117,13 +132,16 @@ impl Curve {
     pub fn toy() -> Result<Self, EccError> {
         let p = BigUint::from(1009u64);
         let fp = FpContext::new(&p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
+        let a = fp.from_u64(1);
+        let a_minus_three = a_is_minus_three(&fp, &a);
         let mut curve = Curve {
             fp: fp.clone(),
-            a: fp.from_u64(1),
+            a,
             b: fp.from_u64(6),
             base: AffinePoint::Infinity,
             order: None,
             name: "toy-1009",
+            a_minus_three,
         };
         let order = curve.count_points_exhaustively();
         curve.order = Some(order);
@@ -141,6 +159,14 @@ impl Curve {
     /// The coefficient `a`.
     pub fn a(&self) -> &FpElement {
         &self.a
+    }
+
+    /// Returns `true` when the curve coefficient satisfies `a = -3`
+    /// (i.e. `a ≡ p - 3 mod p`), the precondition of the shortened
+    /// doubling formulas ([`Curve::jacobian_double_fast`]). Holds for
+    /// [`Curve::p160_reproduction`], as for most standardized curves.
+    pub fn a_is_minus_three(&self) -> bool {
+        self.a_minus_three
     }
 
     /// The coefficient `b`.
@@ -275,7 +301,15 @@ impl Curve {
     }
 
     /// Jacobian point doubling (the paper's PD sequence; inversion-free).
+    ///
+    /// On curves with `a = -3` this dispatches to the shortened
+    /// [`Curve::jacobian_double_fast`] formulas (identical result, two
+    /// fewer field multiplications) — the same substitution the
+    /// platform's ladder driver makes with its `fast_pd` cost-model knob.
     pub fn jacobian_double(&self, p: &JacobianPoint) -> JacobianPoint {
+        if self.a_is_minus_three() {
+            return self.jacobian_double_fast(p);
+        }
         let fp = &self.fp;
         if p.is_infinity() || p.y.is_zero() {
             return JacobianPoint {
@@ -299,6 +333,49 @@ impl Curve {
         let x3 = fp.sub(&f, &fp.double(&d));
         let eight_c = fp.double(&fp.double(&fp.double(&c)));
         let y3 = fp.sub(&fp.mul(&e, &fp.sub(&d, &x3)), &eight_c);
+        let z3 = fp.double(&fp.mul(&p.y, &p.z));
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Shortened Jacobian doubling for curves with `a = -3` (the
+    /// "dbl-2001-b" formulas): the tangent numerator factors as
+    /// `3·X1² + a·Z1⁴ = 3·(X1 - Z1²)·(X1 + Z1²)`, saving two field
+    /// multiplications over the general [`Curve::jacobian_double`]. This
+    /// is the host-level counterpart of the platform's 8-MM
+    /// `ecc_pd_fast` sequence.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `a = -3`; on other curves the result would be
+    /// wrong, so callers must check [`Curve::a_is_minus_three`] first
+    /// (the general doubling does this and dispatches automatically).
+    pub fn jacobian_double_fast(&self, p: &JacobianPoint) -> JacobianPoint {
+        debug_assert!(self.a_is_minus_three(), "fast doubling requires a = -3");
+        let fp = &self.fp;
+        if p.is_infinity() || p.y.is_zero() {
+            return JacobianPoint {
+                x: fp.one(),
+                y: fp.one(),
+                z: fp.zero(),
+            };
+        }
+        let delta = fp.square(&p.z); // Z1²
+        let gamma = fp.square(&p.y); // Y1²
+        let beta = fp.mul(&p.x, &gamma); // X1·Y1²
+        let alpha = fp.mul(
+            &fp.from_u64(3),
+            &fp.mul(&fp.sub(&p.x, &delta), &fp.add(&p.x, &delta)),
+        );
+        let beta4 = fp.double(&fp.double(&beta));
+        let x3 = fp.sub(&fp.square(&alpha), &fp.double(&beta4));
+        let y3 = fp.sub(
+            &fp.mul(&alpha, &fp.sub(&beta4, &x3)),
+            &fp.double(&fp.double(&fp.double(&fp.square(&gamma)))),
+        );
         let z3 = fp.double(&fp.mul(&p.y, &p.z));
         JacobianPoint {
             x: x3,
@@ -630,6 +707,33 @@ mod tests {
         let jp = curve.to_jacobian(&p);
         assert_eq!(curve.to_affine(&curve.jacobian_add(&inf, &jp)), p);
         assert_eq!(curve.to_affine(&curve.jacobian_add(&jp, &inf)), p);
+    }
+
+    #[test]
+    fn fast_doubling_matches_general_on_minus_three_curves() {
+        let curve = Curve::p160_reproduction().unwrap();
+        assert!(curve.a_is_minus_three());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..5 {
+            let p = curve.random_point(&mut rng);
+            let jp = curve.to_jacobian(&p);
+            // Against first principles (affine doubling) and with a
+            // generic-Z input.
+            assert_eq!(
+                curve.to_affine(&curve.jacobian_double_fast(&jp)),
+                curve.double(&p)
+            );
+            let generic_z = curve.jacobian_add(&jp, &jp);
+            assert_eq!(
+                curve.to_affine(&curve.jacobian_double_fast(&generic_z)),
+                curve.double(&curve.to_affine(&generic_z))
+            );
+        }
+        // Degenerate inputs collapse to infinity, as in the general path.
+        let inf = curve.to_jacobian(&AffinePoint::Infinity);
+        assert!(curve.jacobian_double_fast(&inf).is_infinity());
+        // The toy curve (a = 1) must not qualify.
+        assert!(!Curve::toy().unwrap().a_is_minus_three());
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! access pattern the platform's 13-multiplication `pa_mixed` sequence
 //! prices; the general Jacobian addition ([`Curve::jacobian_add`]) remains
 //! the fallback for operands that are not in normalized form.
+//!
+//! Doublings go through [`Curve::jacobian_double`], which on `a = -3`
+//! curves (the reproduction curve included) dispatches to the shortened
+//! [`Curve::jacobian_double_fast`] formulas — the access pattern the
+//! platform's 8-multiplication `ecc_pd_fast` sequence prices.
 
 use bignum::BigUint;
 

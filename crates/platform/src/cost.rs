@@ -28,16 +28,26 @@
 //!    correction branch. This is what closes the Table 2 torus rows to
 //!    within ±5% of the paper.
 //! 4. **Mixed-coordinate ECC point addition**
-//!    ([`CostModel::mixed_coordinate_pa`], the last sequence-level layer) —
-//!    the scalar-multiplication ladder's point addition uses the
-//!    13-multiplication mixed sequence (`Z2 = 1`, affine addend;
+//!    ([`CostModel::mixed_coordinate_pa`]) — the scalar-multiplication
+//!    ladder's point addition uses the 13-multiplication mixed sequence
+//!    (`Z2 = 1`, affine addend;
 //!    `platform::programs::ecc_pa_mixed_sequence`) instead of the general
 //!    16-multiplication Jacobian addition. This is what closes Table 2's
 //!    ECC PA rows. The general sequence stays available regardless of the
 //!    knob (for non-normalized inputs and for the `pa_mixed_sweep`
 //!    ablation); the knob selects which sequence the *ladder driver* runs.
+//! 5. **Fast `a = -3` point doubling** ([`CostModel::fast_pd`], the last
+//!    sequence-level layer) — the ladder's point doubling uses the
+//!    shortened 8-multiplication `a = -3` sequence
+//!    (`platform::programs::ecc_pd_fast_sequence`) instead of the general
+//!    10-multiplication Jacobian doubling, on curves where `a = -3`
+//!    holds. This is what closes Table 2's Type-A ECC PD row (the
+//!    on-the-fly generated doubling); the general doubling stays
+//!    available regardless of the knob (it is the InsRom1 image whose
+//!    Type-B cycle count matches Table 2, and the fallback for curves
+//!    with arbitrary `a`).
 //!
-//! [`CostModel::paper`] enables layers 2–4 together.
+//! [`CostModel::paper`] enables layers 2–5 together.
 //!
 //! # Example
 //!
@@ -114,6 +124,13 @@ pub struct CostModel {
     /// ladder runs the general sequence (the pre-mixed behaviour, kept
     /// for ablations and as the fallback for non-normalized inputs).
     pub mixed_coordinate_pa: bool,
+    /// Drive the scalar-multiplication ladder's point doublings with the
+    /// shortened `a = -3` sequence (8 MM + 12 MA/MS) instead of the
+    /// general Jacobian doubling (10 MM + 15 MA/MS) whenever the curve
+    /// satisfies `a = -3`. With `false` — or on curves with arbitrary
+    /// `a` — the ladder runs the general doubling (the InsRom1 image,
+    /// kept for ablations and as the Table 2 Type-B PD calibration).
+    pub fast_pd: bool,
     /// Which schedule combines the per-event costs above.
     pub schedule: ScheduleModel,
 }
@@ -134,6 +151,7 @@ impl CostModel {
             mac_pipeline_depth: 2,
             dual_path_addsub: true,
             mixed_coordinate_pa: true,
+            fast_pd: true,
             schedule: ScheduleModel::Pipelined,
         }
     }
@@ -147,6 +165,7 @@ impl CostModel {
             schedule: ScheduleModel::Sequential,
             dual_path_addsub: false,
             mixed_coordinate_pa: false,
+            fast_pd: false,
             ..CostModel::paper()
         }
     }
@@ -190,9 +209,58 @@ impl CostModel {
         self.mixed_coordinate_pa
     }
 
+    /// Returns this model with the ladder's point doubling switched
+    /// between the shortened `a = -3` sequence (`true`) and the general
+    /// Jacobian doubling (`false`, the ablation baseline).
+    pub fn with_fast_pd(self, fast_pd: bool) -> Self {
+        CostModel { fast_pd, ..self }
+    }
+
+    /// Returns `true` if the scalar-multiplication ladder drives its
+    /// point doublings through the shortened `a = -3` sequence on
+    /// eligible curves. Like the mixed-PA knob this is a *sequence*
+    /// choice, honoured under both schedules.
+    pub fn uses_fast_pd(&self) -> bool {
+        self.fast_pd
+    }
+
     /// Returns `true` if the pipelined schedule is selected.
     pub fn is_pipelined(&self) -> bool {
         self.schedule == ScheduleModel::Pipelined
+    }
+
+    /// A stable 64-bit fingerprint over every knob — the cost-model
+    /// component of the program-cache key
+    /// ([`crate::program::ProgramCache`]). Equal models always produce
+    /// equal fingerprints; the hash is a hand-rolled FNV-1a fold over the
+    /// raw knob values (no dependence on `std` hasher internals), so the
+    /// value is stable across runs and toolchains.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100_0000_01b3)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = eat(h, self.mac_cycles);
+        h = eat(h, self.alu_cycles);
+        h = eat(h, self.mem_cycles);
+        h = eat(h, self.transfer_cycles);
+        h = eat(h, self.dispatch_cycles);
+        h = eat(h, self.interrupt_cycles);
+        h = eat(h, self.issue_cycles);
+        h = eat(h, self.clock_mhz.to_bits());
+        h = eat(h, self.word_bits as u64);
+        h = eat(h, self.mac_pipeline_depth);
+        h = eat(h, self.dual_path_addsub as u64);
+        h = eat(h, self.mixed_coordinate_pa as u64);
+        h = eat(h, self.fast_pd as u64);
+        h = eat(
+            h,
+            match self.schedule {
+                ScheduleModel::Sequential => 0,
+                ScheduleModel::Pipelined => 1,
+            },
+        );
+        h
     }
 
     /// Number of limbs `s = ceil(bits / w)` an operand of `bits` bits
@@ -234,12 +302,65 @@ mod tests {
         assert!(!seq.is_pipelined());
         assert!(!seq.is_dual_path());
         assert!(!seq.uses_mixed_pa());
+        assert!(!seq.uses_fast_pd());
         assert_eq!(
             seq.with_schedule(ScheduleModel::Pipelined)
                 .with_dual_path(true)
-                .with_mixed_pa(true),
+                .with_mixed_pa(true)
+                .with_fast_pd(true),
             CostModel::paper()
         );
+    }
+
+    #[test]
+    fn fast_pd_is_a_sequence_choice_not_a_schedule_choice() {
+        assert!(CostModel::paper().uses_fast_pd());
+        assert!(!CostModel::paper().with_fast_pd(false).uses_fast_pd());
+        // Like mixed PA, the knob survives a schedule switch: the fast
+        // doubling is valid microcode under the sequential model too.
+        assert!(CostModel::paper_sequential()
+            .with_fast_pd(true)
+            .uses_fast_pd());
+    }
+
+    #[test]
+    fn fingerprints_separate_every_knob() {
+        let base = CostModel::paper();
+        assert_eq!(base.fingerprint(), CostModel::paper().fingerprint());
+        let variants = [
+            base.with_dual_path(false),
+            base.with_mixed_pa(false),
+            base.with_fast_pd(false),
+            base.with_schedule(ScheduleModel::Sequential),
+            CostModel {
+                mac_pipeline_depth: 4,
+                ..base
+            },
+            CostModel {
+                interrupt_cycles: 92,
+                ..base
+            },
+            CostModel {
+                clock_mhz: 100.0,
+                ..base
+            },
+            CostModel::paper_sequential(),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "variant {i}");
+            // Stable across calls.
+            assert_eq!(v.fingerprint(), v.fingerprint());
+        }
+        // All variants are pairwise distinct too.
+        for i in 0..variants.len() {
+            for j in i + 1..variants.len() {
+                assert_ne!(
+                    variants[i].fingerprint(),
+                    variants[j].fingerprint(),
+                    "{i} vs {j}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -26,12 +26,20 @@
 //!   addition/subtraction), all functionally verified against the host
 //!   `bignum` implementation;
 //! * [`programs`] — the level-2 composite sequences (`Fp6` multiplication,
-//!   ECC point addition/doubling) whose hazard-free neighbour density
-//!   feeds the Type-B sequencer's operand prefetch;
+//!   ECC point addition/doubling, the fast `a = -3` doubling) whose
+//!   hazard-free neighbour density feeds the Type-B sequencer's operand
+//!   prefetch;
+//! * [`program`] — the typed program IR: authored [`program::Program`]s
+//!   are compiled ([`program::compile`]: slot validation, dead-temp
+//!   elimination, hazard-aware reordering) into
+//!   [`program::CompiledProgram`]s that a [`program::ProgramCache`] hands
+//!   out once per `(OpKind, bits, cost-model)` key;
 //! * [`Platform`] — the MicroBlaze-level view: Type-A and Type-B control
-//!   hierarchies (Figs. 3 and 4), interrupt/accounting overheads, and the
-//!   level-1 drivers for torus exponentiation, ECC point/scalar operations
-//!   and RSA exponentiation that regenerate Tables 1–3.
+//!   hierarchies (Figs. 3 and 4), interrupt/accounting overheads, the
+//!   single [`Platform::execute`] path every composite operation flows
+//!   through, and the level-1 drivers for torus exponentiation, ECC
+//!   point/scalar operations and RSA exponentiation that regenerate
+//!   Tables 1–3.
 //!
 //! # Example
 //!
@@ -52,6 +60,7 @@ pub mod cost;
 mod hierarchy;
 pub mod isa;
 mod platform;
+pub mod program;
 pub mod programs;
 mod report;
 pub mod schedule;
@@ -60,8 +69,13 @@ pub use coprocessor::{sample_modulus, Coprocessor, ModOpResult};
 pub use cost::{CostModel, ScheduleModel};
 pub use hierarchy::{Hierarchy, SequenceOp, SequenceReport};
 pub use platform::Platform;
+pub use program::{
+    compile, compile_unoptimized, CompiledProgram, OpKind, PassOutcome, Program, ProgramBuilder,
+    ProgramCache, ProgramStats, Slot,
+};
 pub use programs::{
-    count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_sequence,
-    fp6_mul_sequence, independent_neighbour_pairs, SlotArena, ECC_SLOTS, FP6_MUL_SLOTS,
+    count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_fast_sequence,
+    ecc_pd_sequence, fp6_mul_sequence, independent_neighbour_pairs, SlotArena, SlotOverflow,
+    ECC_SLOTS, FP6_MUL_SLOTS,
 };
 pub use report::ExecutionReport;

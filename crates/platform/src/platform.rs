@@ -1,4 +1,15 @@
 //! The MicroBlaze-level view of the platform: full public-key operations.
+//!
+//! Every composite operation flows through one path since the typed-IR
+//! refactor: the [`crate::program::ProgramCache`] compiles the level-2
+//! sequence once per `(OpKind, bits, cost-model)` key, and
+//! [`Platform::execute`] runs the [`CompiledProgram`] against a slot
+//! bank. The public `run_*` / `*_report` methods are thin marshalling
+//! shims over that path, and the exponentiation/scalar ladders fetch
+//! their programs once before the loop instead of rebuilding and
+//! re-scheduling the same sequence on every iteration.
+
+use std::sync::Arc;
 
 use bignum::{mod_inv, mod_mul, BigUint};
 use ceilidh::{CeilidhParams, TorusElement};
@@ -7,11 +18,8 @@ use field::{Fp6Context, Fp6Element};
 
 use crate::coprocessor::Coprocessor;
 use crate::cost::CostModel;
-use crate::hierarchy::{Hierarchy, SequenceEngine, SequenceOp};
-use crate::programs::{
-    ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence, ECC_SLOTS,
-    FP6_MUL_SLOTS,
-};
+use crate::hierarchy::{Hierarchy, SequenceEngine};
+use crate::program::{CompiledProgram, OpKind, ProgramCache};
 use crate::report::ExecutionReport;
 
 /// The complete platform: MicroBlaze controller + multicore coprocessor.
@@ -20,10 +28,15 @@ use crate::report::ExecutionReport;
 /// simulated coprocessor and can be compared with the host `ceilidh`, `ecc`
 /// and `rsa` crates — while cycles are accumulated according to the cost
 /// model and the selected control hierarchy.
+///
+/// Cloning a `Platform` shares its program cache, so a fleet of clones
+/// (e.g. per-shard workers over the same cost model) compiles each
+/// level-2 program exactly once.
 #[derive(Debug, Clone)]
 pub struct Platform {
     coprocessor: Coprocessor,
     engine: SequenceEngine,
+    programs: ProgramCache,
 }
 
 impl Platform {
@@ -33,6 +46,7 @@ impl Platform {
         Platform {
             coprocessor: Coprocessor::new(cost, num_cores),
             engine: SequenceEngine::new(hierarchy),
+            programs: ProgramCache::new(),
         }
     }
 
@@ -49,6 +63,45 @@ impl Platform {
     /// The control hierarchy in use.
     pub fn hierarchy(&self) -> Hierarchy {
         self.engine.hierarchy()
+    }
+
+    /// The compile-once program cache (shared between clones).
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.programs
+    }
+
+    /// The compiled program for `kind` at `bits` operand length, fetched
+    /// from the cache (compiling on first use).
+    pub fn compiled(&self, kind: OpKind, bits: usize) -> Arc<CompiledProgram> {
+        self.programs.get_or_compile(kind, bits, self.cost())
+    }
+
+    /// Executes a compiled program against a slot bank — the single
+    /// sequence → coprocessor → schedule path every composite driver and
+    /// report shim goes through.
+    ///
+    /// Montgomery products operate on whatever representation the slots
+    /// are in; callers needing plain-domain results are responsible for
+    /// the domain conversions (as the `run_*` shims are).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is smaller than the program's slot budget.
+    pub fn execute(
+        &self,
+        program: &CompiledProgram,
+        modulus: &BigUint,
+        slots: &mut [BigUint],
+    ) -> ExecutionReport {
+        assert!(
+            slots.len() >= program.slot_budget(),
+            "{}: {} slots provided, {} required",
+            program.kind(),
+            slots.len(),
+            program.slot_budget()
+        );
+        self.engine
+            .run(&self.coprocessor, modulus, slots, program.ops())
     }
 
     /// Cycles of one MicroBlaze register access + interrupt (Table 1 row 1).
@@ -111,9 +164,43 @@ impl Platform {
         mod_mul(v, &r_inv, modulus)
     }
 
+    /// Reads a Jacobian point out of three consecutive output slots,
+    /// converting back to the plain domain.
+    fn read_jacobian(
+        &self,
+        curve: &Curve,
+        slots: &[BigUint],
+        modulus: &BigUint,
+        base: usize,
+    ) -> JacobianPoint {
+        JacobianPoint {
+            x: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[base], modulus)),
+            y: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[base + 1], modulus)),
+            z: curve
+                .fp()
+                .from_biguint(&self.leave_domain(&slots[base + 2], modulus)),
+        }
+    }
+
     // ----------------------------------------------------------------- //
     // Table 2: composite (level-2) operations.                           //
     // ----------------------------------------------------------------- //
+
+    /// Cycle accounting of one compiled composite operation at `bits`
+    /// operand length, executed on dummy (but valid) operands — the
+    /// generic path behind every Table 2 report shim.
+    pub fn composite_report(&self, kind: OpKind, bits: usize) -> ExecutionReport {
+        let program = self.compiled(kind, bits);
+        let modulus = probe_modulus(bits);
+        let mut slots: Vec<BigUint> = (0..program.slot_budget())
+            .map(|i| BigUint::from((i % 251 + 1) as u64))
+            .collect();
+        self.execute(&program, &modulus, &mut slots)
+    }
 
     /// Executes one `Fp6` (torus `T6`) multiplication on the platform,
     /// returning the product and the cycle accounting.
@@ -123,16 +210,26 @@ impl Platform {
         a: &Fp6Element,
         b: &Fp6Element,
     ) -> (Fp6Element, ExecutionReport) {
+        let program = self.compiled(OpKind::Fp6Mul, fp6.fp().modulus().bit_len());
+        self.execute_fp6_multiplication(&program, fp6, a, b)
+    }
+
+    /// [`Platform::run_fp6_multiplication`] against an already-compiled
+    /// program (the exponentiation ladder's compile-once path).
+    fn execute_fp6_multiplication(
+        &self,
+        program: &CompiledProgram,
+        fp6: &Fp6Context,
+        a: &Fp6Element,
+        b: &Fp6Element,
+    ) -> (Fp6Element, ExecutionReport) {
         let modulus = fp6.fp().modulus().clone();
-        let mut slots = vec![BigUint::zero(); FP6_MUL_SLOTS];
+        let mut slots = vec![BigUint::zero(); program.slot_budget()];
         for i in 0..6 {
             slots[i] = self.to_domain(&fp6.fp().to_biguint(&a.coeffs()[i]), &modulus);
             slots[6 + i] = self.to_domain(&fp6.fp().to_biguint(&b.coeffs()[i]), &modulus);
         }
-        let ops = fp6_mul_sequence();
-        let report = self
-            .engine
-            .run(&self.coprocessor, &modulus, &mut slots, &ops);
+        let report = self.execute(program, &modulus, &mut slots);
         let coeffs: [field::FpElement; 6] = std::array::from_fn(|i| {
             fp6.fp()
                 .from_biguint(&self.leave_domain(&slots[12 + i], &modulus))
@@ -143,13 +240,13 @@ impl Platform {
     /// Cycle accounting of one `Fp6` multiplication at `bits` operand length
     /// (Table 2, "T6 Mult." rows) without needing real field elements.
     pub fn fp6_multiplication_report(&self, bits: usize) -> ExecutionReport {
-        self.composite_report(bits, &fp6_mul_sequence(), FP6_MUL_SLOTS)
+        self.composite_report(OpKind::Fp6Mul, bits)
     }
 
     /// Cycle accounting of one **general** (16-MM Jacobian) ECC point
     /// addition at `bits` operand length.
     pub fn ecc_point_addition_report(&self, bits: usize) -> ExecutionReport {
-        self.composite_report(bits, &ecc_pa_sequence(), ECC_SLOTS)
+        self.composite_report(OpKind::EccPaGeneral, bits)
     }
 
     /// Cycle accounting of one **mixed-coordinate** (13-MM, affine addend)
@@ -157,23 +254,22 @@ impl Platform {
     /// scalar ladder runs and the one Table 2's ECC PA rows are calibrated
     /// against.
     pub fn ecc_point_addition_mixed_report(&self, bits: usize) -> ExecutionReport {
-        self.composite_report(bits, &ecc_pa_mixed_sequence(), ECC_SLOTS)
+        self.composite_report(OpKind::EccPaMixed, bits)
     }
 
-    /// Cycle accounting of one ECC point doubling at `bits` operand length.
+    /// Cycle accounting of one general ECC point doubling at `bits`
+    /// operand length — the InsRom1 doubling Table 2's **Type-B** ECC PD
+    /// row is calibrated against.
     pub fn ecc_point_doubling_report(&self, bits: usize) -> ExecutionReport {
-        self.composite_report(bits, &ecc_pd_sequence(), ECC_SLOTS)
+        self.composite_report(OpKind::EccPd, bits)
     }
 
-    /// Runs a sequence on dummy (but valid) operands of the requested size
-    /// purely for cycle accounting.
-    fn composite_report(&self, bits: usize, ops: &[SequenceOp], nslots: usize) -> ExecutionReport {
-        let modulus = probe_modulus(bits);
-        let mut slots: Vec<BigUint> = (0..nslots)
-            .map(|i| BigUint::from((i % 251 + 1) as u64))
-            .collect();
-        self.engine
-            .run(&self.coprocessor, &modulus, &mut slots, ops)
+    /// Cycle accounting of one **fast `a = -3`** ECC point doubling (8 MM)
+    /// at `bits` operand length — the shortened sequence Table 2's
+    /// **Type-A** ECC PD row is calibrated against (the MicroBlaze
+    /// generates Type-A sequences on the fly; see DESIGN.md).
+    pub fn ecc_point_doubling_fast_report(&self, bits: usize) -> ExecutionReport {
+        self.composite_report(OpKind::EccPdFast, bits)
     }
 
     /// Executes one Jacobian point addition on the platform.
@@ -183,26 +279,25 @@ impl Platform {
         p: &JacobianPoint,
         q: &JacobianPoint,
     ) -> (JacobianPoint, ExecutionReport) {
+        let program = self.compiled(OpKind::EccPaGeneral, curve.fp().modulus().bit_len());
+        self.execute_ecc_point_addition(&program, curve, p, q)
+    }
+
+    fn execute_ecc_point_addition(
+        &self,
+        program: &CompiledProgram,
+        curve: &Curve,
+        p: &JacobianPoint,
+        q: &JacobianPoint,
+    ) -> (JacobianPoint, ExecutionReport) {
         let modulus = curve.fp().modulus().clone();
-        let mut slots = vec![BigUint::zero(); ECC_SLOTS];
+        let mut slots = vec![BigUint::zero(); program.slot_budget()];
         for (i, c) in [&p.x, &p.y, &p.z, &q.x, &q.y, &q.z].iter().enumerate() {
             slots[i] = self.to_domain(&curve.fp().to_biguint(c), &modulus);
         }
         slots[9] = self.to_domain(&curve.fp().to_biguint(curve.a()), &modulus);
-        let report = self
-            .engine
-            .run(&self.coprocessor, &modulus, &mut slots, &ecc_pa_sequence());
-        let out = JacobianPoint {
-            x: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[6], &modulus)),
-            y: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[7], &modulus)),
-            z: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[8], &modulus)),
-        };
+        let report = self.execute(program, &modulus, &mut slots);
+        let out = self.read_jacobian(curve, &slots, &modulus, 6);
         (out, report)
     }
 
@@ -226,11 +321,22 @@ impl Platform {
         p: &JacobianPoint,
         q: &AffinePoint,
     ) -> (JacobianPoint, ExecutionReport) {
+        let program = self.compiled(OpKind::EccPaMixed, curve.fp().modulus().bit_len());
+        self.execute_ecc_point_addition_mixed(&program, curve, p, q)
+    }
+
+    fn execute_ecc_point_addition_mixed(
+        &self,
+        program: &CompiledProgram,
+        curve: &Curve,
+        p: &JacobianPoint,
+        q: &AffinePoint,
+    ) -> (JacobianPoint, ExecutionReport) {
         let (qx, qy) = q
             .coordinates()
             .expect("the mixed PA sequence needs a finite affine addend");
         let modulus = curve.fp().modulus().clone();
-        let mut slots = vec![BigUint::zero(); ECC_SLOTS];
+        let mut slots = vec![BigUint::zero(); program.slot_budget()];
         for (i, c) in [&p.x, &p.y, &p.z].iter().enumerate() {
             slots[i] = self.to_domain(&curve.fp().to_biguint(c), &modulus);
         }
@@ -239,52 +345,62 @@ impl Platform {
         slots[4] = curve.fp().to_biguint(qy);
         let r_mod = self.platform_r(&modulus);
         slots[5] = mod_mul(&r_mod, &r_mod, &modulus);
-        let report = self.engine.run(
-            &self.coprocessor,
-            &modulus,
-            &mut slots,
-            &ecc_pa_mixed_sequence(),
-        );
-        let out = JacobianPoint {
-            x: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[6], &modulus)),
-            y: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[7], &modulus)),
-            z: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[8], &modulus)),
-        };
+        let report = self.execute(program, &modulus, &mut slots);
+        let out = self.read_jacobian(curve, &slots, &modulus, 6);
         (out, report)
     }
 
-    /// Executes one Jacobian point doubling on the platform.
+    /// Executes one Jacobian point doubling on the platform (the general
+    /// 10-MM sequence, valid for every curve coefficient `a`).
     pub fn run_ecc_point_doubling(
         &self,
         curve: &Curve,
         p: &JacobianPoint,
     ) -> (JacobianPoint, ExecutionReport) {
+        let program = self.compiled(OpKind::EccPd, curve.fp().modulus().bit_len());
+        self.execute_ecc_point_doubling(&program, curve, p)
+    }
+
+    /// Executes one **fast** Jacobian point doubling on the platform: the
+    /// shortened 8-multiplication `a = -3` sequence the reproduction
+    /// curve's ladder runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve does not satisfy `a = -3` — the factored slope
+    /// `3(X1 - Z1²)(X1 + Z1²)` is only the correct tangent numerator
+    /// there; the ladder driver checks [`Curve::a_is_minus_three`] and
+    /// falls back to the general doubling otherwise.
+    pub fn run_ecc_point_doubling_fast(
+        &self,
+        curve: &Curve,
+        p: &JacobianPoint,
+    ) -> (JacobianPoint, ExecutionReport) {
+        assert!(
+            curve.a_is_minus_three(),
+            "the fast PD sequence requires a = -3 (curve {:?})",
+            curve
+        );
+        let program = self.compiled(OpKind::EccPdFast, curve.fp().modulus().bit_len());
+        self.execute_ecc_point_doubling(&program, curve, p)
+    }
+
+    /// Shared marshalling for both doubling programs (identical slot
+    /// layout; the fast program simply never reads the `a` slot).
+    fn execute_ecc_point_doubling(
+        &self,
+        program: &CompiledProgram,
+        curve: &Curve,
+        p: &JacobianPoint,
+    ) -> (JacobianPoint, ExecutionReport) {
         let modulus = curve.fp().modulus().clone();
-        let mut slots = vec![BigUint::zero(); ECC_SLOTS];
+        let mut slots = vec![BigUint::zero(); program.slot_budget()];
         for (i, c) in [&p.x, &p.y, &p.z].iter().enumerate() {
             slots[i] = self.to_domain(&curve.fp().to_biguint(c), &modulus);
         }
         slots[6] = self.to_domain(&curve.fp().to_biguint(curve.a()), &modulus);
-        let report = self
-            .engine
-            .run(&self.coprocessor, &modulus, &mut slots, &ecc_pd_sequence());
-        let out = JacobianPoint {
-            x: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[3], &modulus)),
-            y: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[4], &modulus)),
-            z: curve
-                .fp()
-                .from_biguint(&self.leave_domain(&slots[5], &modulus)),
-        };
+        let report = self.execute(program, &modulus, &mut slots);
+        let out = self.read_jacobian(curve, &slots, &modulus, 3);
         (out, report)
     }
 
@@ -294,6 +410,9 @@ impl Platform {
 
     /// Executes a full torus `T6` exponentiation (square-and-multiply over
     /// representation F1) on the platform.
+    ///
+    /// The `Fp6` multiplication program is compiled once and executed on
+    /// every ladder step (squarings and multiplications alike).
     pub fn torus_exponentiation(
         &self,
         params: &CeilidhParams,
@@ -301,14 +420,15 @@ impl Platform {
         exponent: &BigUint,
     ) -> (TorusElement, ExecutionReport) {
         let fp6 = params.fp6();
+        let program = self.compiled(OpKind::Fp6Mul, fp6.fp().modulus().bit_len());
         let mut acc = fp6.one();
         let mut report = ExecutionReport::default();
         for i in (0..exponent.bit_len()).rev() {
-            let (sq, r) = self.run_fp6_multiplication(fp6, &acc, &acc);
+            let (sq, r) = self.execute_fp6_multiplication(&program, fp6, &acc, &acc);
             acc = sq;
             report = report.merge(&r);
             if exponent.bit(i) {
-                let (prod, r) = self.run_fp6_multiplication(fp6, &acc, base.as_fp6());
+                let (prod, r) = self.execute_fp6_multiplication(&program, fp6, &acc, base.as_fp6());
                 acc = prod;
                 report = report.merge(&r);
             }
@@ -319,13 +439,17 @@ impl Platform {
     /// Executes a full ECC scalar multiplication (Jacobian double-and-add)
     /// on the platform.
     ///
-    /// The addend of every point addition is the base point itself, which
-    /// arrives affine and stays affine — so when the cost model selects
-    /// the mixed-coordinate layer ([`CostModel::uses_mixed_pa`], on in
+    /// Both ladder programs are compiled once, before the loop. The addend
+    /// of every point addition is the base point itself, which arrives
+    /// affine and stays affine — so when the cost model selects the
+    /// mixed-coordinate layer ([`CostModel::uses_mixed_pa`], on in
     /// [`CostModel::paper`]) the ladder drives the 13-multiplication
     /// `pa_mixed` sequence; with the knob off it runs the general 16-MM
     /// Jacobian addition (the pre-mixed baseline, kept selectable for the
-    /// `pa_mixed_sweep` ablation).
+    /// `pa_mixed_sweep` ablation). Likewise, on curves with `a = -3` the
+    /// fast-PD layer ([`CostModel::uses_fast_pd`]) drives the shortened
+    /// 8-MM doubling; otherwise the general 10-MM doubling runs (the
+    /// `pd_fast_sweep` ablation baseline).
     ///
     /// # Panics
     ///
@@ -342,12 +466,30 @@ impl Platform {
             "the platform PA/PD sequences need a finite base point"
         );
         let mixed = self.cost().uses_mixed_pa();
+        let fast_pd = self.cost().uses_fast_pd() && curve.a_is_minus_three();
+        let bits = curve.fp().modulus().bit_len();
+        let pd_program = self.compiled(
+            if fast_pd {
+                OpKind::EccPdFast
+            } else {
+                OpKind::EccPd
+            },
+            bits,
+        );
+        let pa_program = self.compiled(
+            if mixed {
+                OpKind::EccPaMixed
+            } else {
+                OpKind::EccPaGeneral
+            },
+            bits,
+        );
         let mut report = ExecutionReport::default();
         let jp = curve.to_jacobian(point);
         let mut acc: Option<JacobianPoint> = None;
         for i in (0..k.bit_len()).rev() {
             if let Some(cur) = acc.take() {
-                let (doubled, r) = self.run_ecc_point_doubling(curve, &cur);
+                let (doubled, r) = self.execute_ecc_point_doubling(&pd_program, curve, &cur);
                 report = report.merge(&r);
                 acc = Some(doubled);
             }
@@ -356,9 +498,9 @@ impl Platform {
                     None => jp.clone(),
                     Some(cur) => {
                         let (sum, r) = if mixed {
-                            self.run_ecc_point_addition_mixed(curve, &cur, point)
+                            self.execute_ecc_point_addition_mixed(&pa_program, curve, &cur, point)
                         } else {
-                            self.run_ecc_point_addition(curve, &cur, &jp)
+                            self.execute_ecc_point_addition(&pa_program, curve, &cur, &jp)
                         };
                         report = report.merge(&r);
                         sum
@@ -436,6 +578,9 @@ mod tests {
             assert_eq!(got, fp6.mul(&a, &b));
             assert_eq!(report.modmuls, 18);
         }
+        // Five runs of the same operation: one compile, four cache hits.
+        assert_eq!(plat.program_cache().misses(), 1);
+        assert_eq!(plat.program_cache().hits(), 4);
     }
 
     #[test]
@@ -454,7 +599,38 @@ mod tests {
             assert_eq!(curve.to_affine(&mixed), curve.add(&p, &q));
             let (dbl, _) = plat.run_ecc_point_doubling(&curve, &jp);
             assert_eq!(curve.to_affine(&dbl), curve.double(&p));
+            let (dbl_fast, _) = plat.run_ecc_point_doubling_fast(&curve, &jp);
+            assert_eq!(curve.to_affine(&dbl_fast), curve.double(&p));
         }
+    }
+
+    #[test]
+    fn fast_doubling_agrees_with_general_and_is_cheaper() {
+        // The shortened a = -3 sequence must compute the exact same double
+        // while costing fewer cycles under both hierarchies.
+        let curve = Curve::p160_reproduction().unwrap();
+        assert!(curve.a_is_minus_three());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(208);
+        for hierarchy in [Hierarchy::TypeA, Hierarchy::TypeB] {
+            let plat = platform(hierarchy);
+            let p = curve.random_point(&mut rng);
+            let jp = curve.jacobian_double(&curve.to_jacobian(&p)); // generic Z
+            let (general, rg) = plat.run_ecc_point_doubling(&curve, &jp);
+            let (fast, rf) = plat.run_ecc_point_doubling_fast(&curve, &jp);
+            assert_eq!(curve.to_affine(&general), curve.to_affine(&fast));
+            assert!(rf.cycles < rg.cycles);
+            assert_eq!(rf.modmuls, 8);
+            assert_eq!(rg.modmuls, 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a = -3")]
+    fn fast_doubling_rejects_other_curves() {
+        let curve = Curve::toy().unwrap(); // a = 1
+        let plat = platform(Hierarchy::TypeB);
+        let p = curve.to_jacobian(curve.base_point());
+        let _ = plat.run_ecc_point_doubling_fast(&curve, &p);
     }
 
     #[test]
@@ -500,6 +676,53 @@ mod tests {
     }
 
     #[test]
+    fn ladder_obeys_the_fast_pd_knob() {
+        // Same scalar, same point: the fast-PD and general-PD ladders
+        // agree functionally; the fast one is strictly cheaper and saves
+        // exactly 2 MM per doubling. On a curve without a = -3 the knob
+        // is inert (the ladder falls back to the general doubling).
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(209);
+        let p = curve.random_point(&mut rng);
+        let k = BigUint::from(0b1011_0110_1101u64); // 12 bits → 11 doublings
+        let fast = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+        let general = Platform::new(CostModel::paper().with_fast_pd(false), 4, Hierarchy::TypeB);
+        let (pf, rf) = fast.ecc_scalar_multiplication(&curve, &p, &k);
+        let (pg, rg) = general.ecc_scalar_multiplication(&curve, &p, &k);
+        assert_eq!(pf, pg);
+        assert!(rf.cycles < rg.cycles);
+        assert_eq!(rg.modmuls - rf.modmuls, 11 * 2);
+
+        let toy = Curve::toy().unwrap(); // a = 1: no fast doubling
+        let tp = toy.random_point(&mut rng);
+        let (ft, rt) = fast.ecc_scalar_multiplication(&toy, &tp, &k);
+        let (gt, rgt) = general.ecc_scalar_multiplication(&toy, &tp, &k);
+        assert_eq!(ft, gt);
+        assert_eq!(rt.modmuls, rgt.modmuls);
+    }
+
+    #[test]
+    fn ladder_compiles_each_program_once() {
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(210);
+        let p = curve.random_point(&mut rng);
+        let plat = platform(Hierarchy::TypeB);
+        let k = BigUint::from(0xdead_beefu64);
+        plat.ecc_scalar_multiplication(&curve, &p, &k);
+        // One PD program + one PA program, compiled once each.
+        assert_eq!(plat.program_cache().misses(), 2);
+        assert_eq!(plat.program_cache().len(), 2);
+        // A second ladder over the same curve reuses both.
+        plat.ecc_scalar_multiplication(&curve, &p, &BigUint::from(12345u64));
+        assert_eq!(plat.program_cache().misses(), 2);
+        assert!(plat.program_cache().hits() >= 2);
+        // Clones share the cache.
+        let clone = plat.clone();
+        clone.ecc_scalar_multiplication(&curve, &p, &k);
+        assert_eq!(plat.program_cache().misses(), 2);
+    }
+
+    #[test]
     fn type_b_is_several_times_faster_for_composites() {
         let a = platform(Hierarchy::TypeA);
         let b = platform(Hierarchy::TypeB);
@@ -515,6 +738,8 @@ mod tests {
         assert!(pa_a > pa_b);
         let pd_b = b.ecc_point_doubling_report(160).cycles;
         assert!(pd_b < pa_b, "PD must be cheaper than PA");
+        let pd_fast_b = b.ecc_point_doubling_fast_report(160).cycles;
+        assert!(pd_fast_b < pd_b, "fast PD must beat the general PD");
     }
 
     #[test]
@@ -528,6 +753,8 @@ mod tests {
         assert_eq!(got, params.pow(&base, &exp));
         assert!(report.modmuls >= 18);
         assert!(report.cycles > 0);
+        // The whole exponentiation compiles the Fp6 program exactly once.
+        assert_eq!(plat.program_cache().misses(), 1);
     }
 
     #[test]

@@ -8,8 +8,9 @@ use bignum::BigUint;
 use ceilidh::CeilidhParams;
 use platform::isa::{Core, MicroOp, Program};
 use platform::{
-    count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_sequence,
-    fp6_mul_sequence, Coprocessor, CostModel, Hierarchy, Platform,
+    compile, count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence,
+    ecc_pd_fast_sequence, ecc_pd_sequence, fp6_mul_sequence, Coprocessor, CostModel, Hierarchy,
+    OpKind, Platform,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,7 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "ECC point addition (mixed, ladder)",
             ecc_pa_mixed_sequence(),
         ),
-        ("ECC point doubling", ecc_pd_sequence()),
+        ("ECC point doubling (general)", ecc_pd_sequence()),
+        ("ECC point doubling (fast, a=-3)", ecc_pd_fast_sequence()),
     ] {
         println!(
             "{name}: {} steps = {} MM + {} MA/MS",
@@ -68,6 +70,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             count_modadds(&seq)
         );
     }
+
+    // --- Level 2: the typed-IR compile pipeline + program cache. -----------
+    println!("\n== level 2: compile pipeline (Program -> passes -> CompiledProgram) ==");
+    let compiled = compile(OpKind::EccPdFast, 160, &CostModel::paper());
+    for pass in compiled.passes() {
+        println!(
+            "pass {:<14} steps {:>2} -> {:<2} prefetch pairs {:>2} -> {:<2}",
+            pass.pass, pass.steps_before, pass.steps_after, pass.pairs_before, pass.pairs_after
+        );
+    }
+    let plat_cache = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+    let _ = plat_cache.ecc_point_doubling_fast_report(160);
+    let _ = plat_cache.ecc_point_doubling_fast_report(160);
+    let _ = plat_cache.ecc_point_doubling_report(160);
+    println!(
+        "program cache after three reports: {} programs, {} hits / {} misses",
+        plat_cache.program_cache().len(),
+        plat_cache.program_cache().hits(),
+        plat_cache.program_cache().misses()
+    );
 
     // --- Level 1: the MicroBlaze view (Type-A vs Type-B). ------------------
     println!("\n== level 1: control hierarchies ==");
