@@ -6,7 +6,7 @@
 use bignum::BigUint;
 use ceilidh::CeilidhParams;
 use criterion::{criterion_group, criterion_main, Criterion};
-use ecc::{scalar_mul, Curve, ScalarMulAlgorithm};
+use ecc::{Curve, ScalarMulAlgorithm};
 use rand::SeedableRng;
 use rsa_torus::RsaKeyPair;
 use std::time::Duration;
@@ -31,8 +31,19 @@ fn bench_public_key_ops(c: &mut Criterion) {
     let point = curve.random_point(&mut rng);
     let scalar = BigUint::random_bits(&mut rng, 160);
     group.bench_function("ecc_scalar_mult_160", |b| {
-        b.iter(|| scalar_mul(&curve, &point, &scalar, ScalarMulAlgorithm::DoubleAndAdd))
+        b.iter(|| curve.scalar_mul(&point, &scalar, ScalarMulAlgorithm::DoubleAndAdd))
     });
+
+    // 256-bit standards-curve scalar multiplication (beyond-paper size):
+    // P-256 runs the shortened a = -3 doubling, secp256k1 the general one.
+    for name in ["p256", "secp256k1"] {
+        let curve = Curve::by_name(name).unwrap();
+        let point = curve.random_point(&mut rng);
+        let scalar = BigUint::random_bits(&mut rng, 256);
+        group.bench_function(format!("ecc_scalar_mult_256_{name}"), |b| {
+            b.iter(|| curve.scalar_mul(&point, &scalar, ScalarMulAlgorithm::DoubleAndAdd))
+        });
+    }
 
     // 1024-bit RSA private-key exponentiation (full length and CRT).
     let keys = RsaKeyPair::generate(1024, &mut rng).unwrap();

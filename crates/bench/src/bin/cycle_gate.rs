@@ -57,10 +57,8 @@ impl ScoreRow {
     }
 }
 
-/// Renders the markdown reproduction scorecard appended to
-/// `$GITHUB_STEP_SUMMARY`.
-fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
-    let mut out = String::from("## Cycle-accuracy scorecard\n\n");
+/// Renders one markdown table body for the given rows.
+fn markdown_rows(out: &mut String, rows: &[&ScoreRow]) {
     out.push_str("| metric | model | paper | Δ paper | golden | drift | tol | status |\n");
     out.push_str("|---|---:|---:|---:|---:|---:|---:|:---:|\n");
     for row in rows {
@@ -79,6 +77,27 @@ fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
             row.tolerance_pct,
             if row.passed { "✅" } else { "❌" },
         ));
+    }
+}
+
+/// Renders the markdown reproduction scorecard appended to
+/// `$GITHUB_STEP_SUMMARY`: the paper-reproduction rows first, then the
+/// beyond-paper 256-bit predictions in their own section so reviewers
+/// never mistake a prediction for a reproduced number.
+fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
+    let (predictions, reproductions): (Vec<&ScoreRow>, Vec<&ScoreRow>) = rows
+        .iter()
+        .partition(|row| metrics::is_beyond_paper(&row.name));
+    let mut out = String::from("## Cycle-accuracy scorecard\n\n");
+    markdown_rows(&mut out, &reproductions);
+    if !predictions.is_empty() {
+        out.push_str(
+            "\n### Beyond-paper predictions (256-bit standards curves)\n\n\
+             Cycle counts from the same calibrated model at an operand size \
+             the paper never reports — gated against drift at the prediction \
+             tolerance, with no paper column by construction.\n\n",
+        );
+        markdown_rows(&mut out, &predictions);
     }
     let verdict = if failures.is_empty() {
         format!(

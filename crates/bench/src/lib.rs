@@ -249,6 +249,57 @@ pub mod json {
 pub mod metrics {
     use platform::{Coprocessor, CostModel, Hierarchy, Platform};
 
+    /// Deterministic 256-bit scalar driving the beyond-paper ladder rows
+    /// (an arbitrary fixed value with a balanced bit pattern; any drift in
+    /// the rows it produces is a cost-model change, never RNG noise).
+    pub const PREDICTION_SCALAR_HEX: &str =
+        "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721";
+
+    /// Whether a metric row is a **beyond-paper prediction**: a cycle
+    /// count at an operand size the paper never reports (the 256-bit
+    /// standards curves secp256k1 and P-256), quoted from the same
+    /// calibrated model as the reproduction rows but with no published
+    /// number to check against. The cycle gate still pins these rows —
+    /// at the looser prediction tolerance — and the scorecard renders
+    /// them in their own section.
+    pub fn is_beyond_paper(name: &str) -> bool {
+        name.contains("secp256k1") || name.contains("p256")
+    }
+
+    /// The beyond-paper 256-bit rows: one PA, one PD and one full scalar
+    /// multiplication per standards curve and hierarchy, produced by the
+    /// *drivers* on the real curves (not the curve-independent composite
+    /// reports) so the `a = -3` dispatch is part of what is gated —
+    /// P-256 rows price the shortened 8-MM doubling, secp256k1 rows the
+    /// general 10-MM one.
+    fn beyond_paper_rows() -> Vec<(String, u64)> {
+        let k = bignum::BigUint::from_hex(PREDICTION_SCALAR_HEX).expect("valid scalar constant");
+        let mut out = Vec::new();
+        for (curve_name, key) in [("secp256k1", "secp256k1"), ("p256", "p256")] {
+            let curve = ecc::Curve::by_name(curve_name).expect("registered curve");
+            let g = curve.base_point().clone();
+            // A generic-Z (Z ≠ 1) operand, as the ladder's accumulator is.
+            let acc = curve.jacobian_double(&curve.to_jacobian(&g));
+            for (hierarchy, suffix) in [(Hierarchy::TypeA, "type_a"), (Hierarchy::TypeB, "type_b")]
+            {
+                let plat = Platform::new(CostModel::paper(), 4, hierarchy);
+                let (_, pa) = plat.run_ecc_point_addition_mixed(&curve, &acc, &g);
+                out.push((format!("ecc_pa_mixed_{key}_{suffix}"), pa.cycles));
+                let (pd_name, pd) = if curve.a_is_minus_three() {
+                    let (_, r) = plat.run_ecc_point_doubling_fast(&curve, &acc);
+                    (format!("ecc_pd_fast_{key}_{suffix}"), r)
+                } else {
+                    let (_, r) = plat.run_ecc_point_doubling(&curve, &acc);
+                    (format!("ecc_pd_{key}_{suffix}"), r)
+                };
+                out.push((pd_name, pd.cycles));
+                let (_, ladder) = plat.ecc_scalar_multiplication(&curve, &g, &k);
+                out.push((format!("ecc_scalar_mult_{key}_{suffix}"), ladder.cycles));
+            }
+        }
+        out
+    }
+
     /// Program-cache hit rate over a fixed batch workload (four scalar
     /// multiplications with deterministic 64-bit scalars on the
     /// reproduction curve), rounded to whole percent. The first ladder
@@ -374,6 +425,10 @@ pub mod metrics {
             // started re-compiling per call.
             m("program_cache_hit_rate_pct", program_cache_hit_rate_pct()),
         ];
+        // The 256-bit standards-curve predictions ride along in the same
+        // gated set, flagged by `is_beyond_paper` for their own scorecard
+        // section and the looser prediction tolerance.
+        out.extend(beyond_paper_rows());
         out.sort();
         out
     }
@@ -381,10 +436,15 @@ pub mod metrics {
     /// The drift tolerance CI grants a metric, in percent: Table 1 leaf
     /// operations are pinned tight (±2%), Table 2/3 composite rows — whose
     /// cycle counts stack many leaf operations and sequencer overlap — get
-    /// ±5%. Written into the golden file by `cycle_gate --write-golden` so
-    /// the gate reads per-row tolerances instead of one hardcoded constant.
+    /// ±5%, and the beyond-paper 256-bit predictions get ±10% (they have
+    /// no published anchor, so the gate only guards against silent model
+    /// drift, not reproduction accuracy). Written into the golden file by
+    /// `cycle_gate --write-golden` so the gate reads per-row tolerances
+    /// instead of one hardcoded constant.
     pub fn tolerance_pct(name: &str) -> f64 {
-        if name.starts_with("t6_") || name.starts_with("ecc_") {
+        if is_beyond_paper(name) {
+            10.0
+        } else if name.starts_with("t6_") || name.starts_with("ecc_") {
             5.0
         } else {
             2.0
@@ -497,10 +557,71 @@ mod tests {
         assert_eq!(metrics::tolerance_pct("interrupt_cycles"), 2.0);
         assert_eq!(metrics::tolerance_pct("t6_mult_type_b"), 5.0);
         assert_eq!(metrics::tolerance_pct("ecc_pa_type_a"), 5.0);
+        // Beyond-paper predictions get the loosest tier.
+        assert_eq!(metrics::tolerance_pct("ecc_scalar_mult_p256_type_b"), 10.0);
+        assert_eq!(
+            metrics::tolerance_pct("ecc_pa_mixed_secp256k1_type_a"),
+            10.0
+        );
+        // The 256-bit MM rows are paper-era model baselines, not curve
+        // predictions — they stay in the tight tier.
+        assert!(!metrics::is_beyond_paper("mm_256_1core_pipelined"));
+        assert_eq!(metrics::tolerance_pct("mm_256_1core_pipelined"), 2.0);
         // Every collected metric gets some positive tolerance.
         for (name, _) in metrics::collect() {
             assert!(metrics::tolerance_pct(&name) > 0.0, "{name}");
         }
+    }
+
+    #[test]
+    fn beyond_paper_rows_cover_both_curves_hierarchies_and_knobs() {
+        let collected = metrics::collect();
+        let has = |name: &str| collected.iter().any(|(k, _)| k == name);
+        // P-256 (a = -3) prices the fast 8-MM doubling; secp256k1 the
+        // general 10-MM one — the knob dispatch is visible in the names.
+        for name in [
+            "ecc_pa_mixed_secp256k1_type_a",
+            "ecc_pa_mixed_secp256k1_type_b",
+            "ecc_pa_mixed_p256_type_a",
+            "ecc_pa_mixed_p256_type_b",
+            "ecc_pd_secp256k1_type_a",
+            "ecc_pd_secp256k1_type_b",
+            "ecc_pd_fast_p256_type_a",
+            "ecc_pd_fast_p256_type_b",
+            "ecc_scalar_mult_secp256k1_type_a",
+            "ecc_scalar_mult_secp256k1_type_b",
+            "ecc_scalar_mult_p256_type_a",
+            "ecc_scalar_mult_p256_type_b",
+        ] {
+            assert!(has(name), "{name} missing from collect()");
+            assert!(metrics::is_beyond_paper(name), "{name}");
+            // Predictions have no published anchor.
+            assert_eq!(paper::reference_cycles(name), None, "{name}");
+        }
+        // Exactly the twelve rows above are beyond-paper.
+        assert_eq!(
+            collected
+                .iter()
+                .filter(|(k, _)| metrics::is_beyond_paper(k))
+                .count(),
+            12
+        );
+        // Same sequence, wider operands: every 256-bit row must cost more
+        // than its 160-bit counterpart on the same hierarchy.
+        let get = |name: &str| {
+            collected
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(get("ecc_pa_mixed_p256_type_b") > get("ecc_pa_mixed_type_b"));
+        assert!(get("ecc_pd_fast_p256_type_b") > get("ecc_pd_fast_type_b"));
+        assert!(get("ecc_pd_secp256k1_type_b") > get("ecc_pd_type_b"));
+        // The a = -3 shortcut is visible at 256 bits: P-256's doubling is
+        // cheaper than secp256k1's on the same hierarchy.
+        assert!(get("ecc_pd_fast_p256_type_b") < get("ecc_pd_secp256k1_type_b"));
+        assert!(get("ecc_pd_fast_p256_type_a") < get("ecc_pd_secp256k1_type_a"));
     }
 
     #[test]

@@ -5,14 +5,23 @@ use field::{FpContext, FpElement};
 use rand::Rng;
 
 use crate::error::EccError;
+use crate::params::{P160Reproduction, Toy};
 use crate::point::{AffinePoint, JacobianPoint};
 
 /// A short-Weierstrass curve over a prime field, together with a base point.
 ///
-/// See the crate-level docs for a key-exchange example. Curves for the
-/// reproduction come from [`Curve::p160_reproduction`] (the paper's 160-bit
-/// operand size) and [`Curve::toy`] (a small curve with an exhaustively
-/// counted group order, used to validate the group law).
+/// See the crate-level docs for a key-exchange example. Curves come from
+/// three places, all funnelling through the same validation:
+///
+/// * [`Curve::from_parameters::<E>()`](Curve::from_parameters) — a
+///   registered marker type ([`crate::WeierstrassParameters`]): the
+///   standards curves [`crate::Secp256k1`] and [`crate::P256`], the
+///   paper's [`crate::P160Reproduction`] and the tiny [`crate::Toy`]
+///   validation curve (or [`Curve::by_name`] for the string-keyed lookup);
+/// * [`CurveSpec`] — explicit parameters with named fields, for curves
+///   outside the registry;
+/// * [`Curve::p160_reproduction`] / [`Curve::toy`] — shorthands for the
+///   two reproduction markers.
 #[derive(Clone)]
 pub struct Curve {
     fp: FpContext,
@@ -20,10 +29,124 @@ pub struct Curve {
     b: FpElement,
     base: AffinePoint,
     order: Option<BigUint>,
+    cofactor: BigUint,
+    bits: usize,
     name: &'static str,
     // Whether a ≡ -3 (mod p), precomputed so the per-doubling dispatch
     // to the shortened formulas costs a bool instead of a conversion.
     a_minus_three: bool,
+}
+
+/// Explicit curve parameters with named fields — the builder behind every
+/// [`Curve`] constructor.
+///
+/// [`CurveSpec::new`] takes the five parameters every curve needs (field
+/// prime, coefficients, generator coordinates); the optional ones chain:
+///
+/// ```
+/// use bignum::BigUint;
+/// use ecc::{Curve, CurveSpec};
+///
+/// let curve = CurveSpec::new(
+///     BigUint::from(1009u64), // p
+///     BigUint::from(1u64),    // a
+///     BigUint::from(6u64),    // b
+///     BigUint::from(1u64),    // generator x
+///     BigUint::from(878u64),  // generator y
+/// )
+/// .order(BigUint::from(1020u64))
+/// .name("toy-1009")
+/// .build()?;
+/// assert_eq!(curve.name(), "toy-1009");
+/// # Ok::<(), ecc::EccError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CurveSpec {
+    /// The field prime `p`.
+    pub p: BigUint,
+    /// The coefficient `a`.
+    pub a: BigUint,
+    /// The coefficient `b`.
+    pub b: BigUint,
+    /// Affine x-coordinate of the generator.
+    pub generator_x: BigUint,
+    /// Affine y-coordinate of the generator.
+    pub generator_y: BigUint,
+    /// The group order, when known (`None` for uncertified curves).
+    pub order: Option<BigUint>,
+    /// The cofactor `h` (defaults to 1).
+    pub cofactor: BigUint,
+    /// Canonical operand size in bits (defaults to the prime's bit
+    /// length) — the size the platform cycle model quotes rows at.
+    pub bits: Option<usize>,
+    /// Curve name, carried into [`Curve::name`] (defaults to
+    /// `"custom"`).
+    pub name: &'static str,
+}
+
+impl CurveSpec {
+    /// Starts a spec from the required parameters: field prime,
+    /// coefficients and generator coordinates.
+    pub fn new(
+        p: BigUint,
+        a: BigUint,
+        b: BigUint,
+        generator_x: BigUint,
+        generator_y: BigUint,
+    ) -> Self {
+        CurveSpec {
+            p,
+            a,
+            b,
+            generator_x,
+            generator_y,
+            order: None,
+            cofactor: BigUint::one(),
+            bits: None,
+            name: "custom",
+        }
+    }
+
+    /// Declares the group order.
+    pub fn order(mut self, order: BigUint) -> Self {
+        self.order = Some(order);
+        self
+    }
+
+    /// Declares the group order from an `Option` (chaining convenience
+    /// for trait-driven construction).
+    pub fn maybe_order(mut self, order: Option<BigUint>) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Declares the cofactor.
+    pub fn cofactor(mut self, cofactor: BigUint) -> Self {
+        self.cofactor = cofactor;
+        self
+    }
+
+    /// Declares the canonical operand size in bits.
+    pub fn bits(mut self, bits: usize) -> Self {
+        self.bits = Some(bits);
+        self
+    }
+
+    /// Names the curve.
+    pub fn name(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Validates the spec and builds the [`Curve`] — shorthand for
+    /// [`Curve::from_spec`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Curve::from_spec`].
+    pub fn build(self) -> Result<Curve, EccError> {
+        Curve::from_spec(self)
+    }
 }
 
 /// Computes the [`Curve::a_is_minus_three`] invariant once, at
@@ -39,17 +162,82 @@ impl std::fmt::Debug for Curve {
     }
 }
 
-/// 160-bit prime used by the reproduction curve: `2^160 - 2^31 - 1`.
-const P_160_HEX: &str = "ffffffffffffffffffffffffffffffff7fffffff";
-
 impl Curve {
-    /// Builds a curve from explicit parameters.
+    /// Validates a [`CurveSpec`] and builds the curve.
+    ///
+    /// This is the single construction path: the trait-driven
+    /// [`Curve::from_parameters`] and the deprecated positional
+    /// [`Curve::new`] both funnel through it, so every curve gets the
+    /// same checks — `p` must make a usable field, the discriminant
+    /// `4a³ + 27b²` must be non-zero, and the generator must satisfy the
+    /// curve equation.
     ///
     /// # Errors
     ///
-    /// Returns [`EccError::InvalidCurve`] if the field is unusable or the
-    /// discriminant `4a³ + 27b²` vanishes, and [`EccError::PointNotOnCurve`]
-    /// if the base point does not satisfy the curve equation.
+    /// Returns [`EccError::InvalidParameters`] naming the offending spec
+    /// field (`"p"`, `"a/b"` or `"generator"`).
+    pub fn from_spec(spec: CurveSpec) -> Result<Self, EccError> {
+        let CurveSpec {
+            p,
+            a,
+            b,
+            generator_x,
+            generator_y,
+            order,
+            cofactor,
+            bits,
+            name,
+        } = spec;
+        let fp = FpContext::new(&p).map_err(|_| EccError::InvalidParameters {
+            field: "p",
+            reason: "not a usable field modulus",
+        })?;
+        let a = fp.from_biguint(&a);
+        let b = fp.from_biguint(&b);
+        // Discriminant 4a³ + 27b² must be non-zero.
+        let disc = fp.add(
+            &fp.mul(&fp.from_u64(4), &fp.mul(&a, &fp.square(&a))),
+            &fp.mul(&fp.from_u64(27), &fp.square(&b)),
+        );
+        if disc.is_zero() {
+            return Err(EccError::InvalidParameters {
+                field: "a/b",
+                reason: "discriminant 4a³ + 27b² vanishes (singular curve)",
+            });
+        }
+        let a_minus_three = a_is_minus_three(&fp, &a);
+        let bits = bits.unwrap_or_else(|| fp.bit_len());
+        let curve = Curve {
+            fp: fp.clone(),
+            a,
+            b,
+            base: AffinePoint::Infinity,
+            order,
+            cofactor,
+            bits,
+            name,
+            a_minus_three,
+        };
+        let base = curve
+            .lift(
+                &fp.from_biguint(&generator_x),
+                &fp.from_biguint(&generator_y),
+            )
+            .map_err(|_| EccError::InvalidParameters {
+                field: "generator",
+                reason: "not on the curve",
+            })?;
+        Ok(Curve { base, ..curve })
+    }
+
+    /// Builds a curve from positional parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Curve::from_spec`].
+    #[deprecated(
+        note = "use CurveSpec::new(..).build(), Curve::from_parameters::<E>() or Curve::by_name(..)"
+    )]
     pub fn new(
         p: &BigUint,
         a: &BigUint,
@@ -59,32 +247,21 @@ impl Curve {
         order: Option<BigUint>,
         name: &'static str,
     ) -> Result<Self, EccError> {
-        let fp = FpContext::new(p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
-        let a = fp.from_biguint(a);
-        let b = fp.from_biguint(b);
-        // Discriminant 4a³ + 27b² must be non-zero.
-        let disc = fp.add(
-            &fp.mul(&fp.from_u64(4), &fp.mul(&a, &fp.square(&a))),
-            &fp.mul(&fp.from_u64(27), &fp.square(&b)),
-        );
-        if disc.is_zero() {
-            return Err(EccError::InvalidCurve("curve is singular"));
-        }
-        let a_minus_three = a_is_minus_three(&fp, &a);
-        let curve = Curve {
-            fp: fp.clone(),
-            a,
-            b,
-            base: AffinePoint::Infinity,
-            order,
-            name,
-            a_minus_three,
-        };
-        let base = curve.lift(&fp.from_biguint(base_x), &fp.from_biguint(base_y))?;
-        Ok(Curve { base, ..curve })
+        CurveSpec::new(
+            p.clone(),
+            a.clone(),
+            b.clone(),
+            base_x.clone(),
+            base_y.clone(),
+        )
+        .maybe_order(order)
+        .name(name)
+        .build()
     }
 
-    /// The 160-bit curve used to reproduce the paper's "160-bit ECC" rows:
+    /// The 160-bit curve used to reproduce the paper's "160-bit ECC" rows —
+    /// shorthand for
+    /// [`Curve::from_parameters::<P160Reproduction>()`](crate::P160Reproduction):
     /// `p = 2^160 - 2^31 - 1`, `a = -3`, and a small `b` chosen so the curve
     /// is non-singular.
     ///
@@ -95,60 +272,21 @@ impl Curve {
     /// # Errors
     ///
     /// Never fails for the built-in constants; the `Result` mirrors
-    /// [`Curve::new`].
+    /// [`Curve::from_spec`].
     pub fn p160_reproduction() -> Result<Self, EccError> {
-        let p = BigUint::from_hex(P_160_HEX).expect("valid hex constant");
-        let a = &p - &BigUint::from(3u64); // a = -3
-        let b = BigUint::from(7u64);
-        // Base point found by scanning x = 1, 2, ... for a quadratic residue.
-        let fp = FpContext::new(&p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
-        let a_elem = fp.from_biguint(&a);
-        let a_minus_three = a_is_minus_three(&fp, &a_elem);
-        let curve_no_base = Curve {
-            fp: fp.clone(),
-            a: a_elem,
-            b: fp.from_biguint(&b),
-            base: AffinePoint::Infinity,
-            order: None,
-            name: "p160-reproduction",
-            a_minus_three,
-        };
-        let base = curve_no_base
-            .find_point_from(1)
-            .ok_or(EccError::InvalidCurve("no base point found"))?;
-        Ok(Curve {
-            base,
-            ..curve_no_base
-        })
+        Curve::from_parameters::<P160Reproduction>()
     }
 
-    /// A tiny curve over `p = 1009` whose group order is computed by
-    /// exhaustive point counting; used to validate the group law and scalar
-    /// multiplication against first principles.
+    /// A tiny curve over `p = 1009` whose group order was computed by
+    /// exhaustive point counting — shorthand for
+    /// [`Curve::from_parameters::<Toy>()`](crate::Toy); used to validate
+    /// the group law and scalar multiplication against first principles.
     ///
     /// # Errors
     ///
     /// Never fails for the built-in constants.
     pub fn toy() -> Result<Self, EccError> {
-        let p = BigUint::from(1009u64);
-        let fp = FpContext::new(&p).map_err(|_| EccError::InvalidCurve("p is not usable"))?;
-        let a = fp.from_u64(1);
-        let a_minus_three = a_is_minus_three(&fp, &a);
-        let mut curve = Curve {
-            fp: fp.clone(),
-            a,
-            b: fp.from_u64(6),
-            base: AffinePoint::Infinity,
-            order: None,
-            name: "toy-1009",
-            a_minus_three,
-        };
-        let order = curve.count_points_exhaustively();
-        curve.order = Some(order);
-        curve.base = curve
-            .find_point_from(1)
-            .ok_or(EccError::InvalidCurve("no base point found"))?;
-        Ok(curve)
+        Curve::from_parameters::<Toy>()
     }
 
     /// The base prime-field context.
@@ -184,10 +322,23 @@ impl Curve {
         &self.base
     }
 
-    /// The group order, when known (only for [`Curve::toy`] and curves
-    /// constructed with an explicit order).
+    /// The group order, when known (the published `n` for the standards
+    /// curves, the exhaustively counted order for [`Curve::toy`]; `None`
+    /// for curves whose order was never declared).
     pub fn order(&self) -> Option<&BigUint> {
         self.order.as_ref()
+    }
+
+    /// The cofactor `h` (`#E(Fp) = h · n`); 1 for every registered curve.
+    pub fn cofactor(&self) -> &BigUint {
+        &self.cofactor
+    }
+
+    /// Canonical operand size in bits — the bit-length the platform cycle
+    /// model quotes this curve's rows at (the prime's bit length unless
+    /// the spec declared otherwise).
+    pub fn bits(&self) -> usize {
+        self.bits
     }
 
     /// Checks the curve equation for a point.
@@ -549,7 +700,9 @@ impl Curve {
         Some(AffinePoint::Point { x: x.clone(), y })
     }
 
-    /// Finds the first point with `x >= start` by scanning x-coordinates.
+    /// Finds the first point with `x >= start` by scanning x-coordinates
+    /// (test-side pin for the hardcoded generators in `params.rs`).
+    #[cfg(test)]
     fn find_point_from(&self, start: u64) -> Option<AffinePoint> {
         for xi in start..start + 1000 {
             let x = self.fp.from_u64(xi);
@@ -560,7 +713,9 @@ impl Curve {
         None
     }
 
-    /// Exhaustively counts the points on the curve (tiny fields only).
+    /// Exhaustively counts the points on the curve (tiny fields only;
+    /// test-side pin for the hardcoded toy order in `params.rs`).
+    #[cfg(test)]
     fn count_points_exhaustively(&self) -> BigUint {
         let p = self.fp.modulus().to_u64().expect("toy field fits in u64");
         let mut count = 1u64; // point at infinity
@@ -586,12 +741,13 @@ impl Curve {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::WeierstrassParameters;
     use rand::SeedableRng;
 
     #[test]
     fn p160_prime_and_curve_are_sane() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let p = BigUint::from_hex(P_160_HEX).unwrap();
+        let p = P160Reproduction::prime();
         assert_eq!(p.bit_len(), 160);
         assert!(
             bignum::is_prime(&p, &mut rng),
@@ -603,33 +759,117 @@ mod tests {
     }
 
     #[test]
+    fn unusable_moduli_are_rejected_naming_p() {
+        // Even p cannot back a Montgomery field context.
+        let err = CurveSpec::new(
+            BigUint::from(4u64),
+            BigUint::one(),
+            BigUint::from(6u64),
+            BigUint::one(),
+            BigUint::one(),
+        )
+        .build()
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EccError::InvalidParameters { field: "p", .. }
+        ));
+    }
+
+    #[test]
     fn singular_curves_are_rejected() {
         // y² = x³ (a = b = 0) is singular.
-        let err = Curve::new(
-            &BigUint::from(1009u64),
-            &BigUint::zero(),
-            &BigUint::zero(),
-            &BigUint::one(),
-            &BigUint::one(),
-            None,
-            "singular",
+        let err = CurveSpec::new(
+            BigUint::from(1009u64),
+            BigUint::zero(),
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::one(),
         )
+        .name("singular")
+        .build()
         .unwrap_err();
-        assert!(matches!(err, EccError::InvalidCurve(_)));
+        assert!(matches!(
+            err,
+            EccError::InvalidParameters { field: "a/b", .. }
+        ));
     }
 
     #[test]
     fn base_point_must_be_on_curve() {
-        let err = Curve::new(
+        let err = CurveSpec::new(
+            BigUint::from(1009u64),
+            BigUint::one(),
+            BigUint::from(6u64),
+            BigUint::from(123u64),
+            BigUint::from(456u64),
+        )
+        .name("bad-base")
+        .build();
+        assert!(matches!(
+            err,
+            Err(EccError::InvalidParameters {
+                field: "generator",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn deprecated_positional_constructor_matches_spec_path() {
+        // The shim must keep building the same curve as the CurveSpec path
+        // until it is removed.
+        #[allow(deprecated)]
+        let shimmed = Curve::new(
             &BigUint::from(1009u64),
             &BigUint::one(),
             &BigUint::from(6u64),
-            &BigUint::from(123u64),
-            &BigUint::from(456u64),
-            None,
-            "bad-base",
+            &BigUint::from(1u64),
+            &BigUint::from(878u64),
+            Some(BigUint::from(1020u64)),
+            "toy-1009",
+        )
+        .unwrap();
+        let speced = CurveSpec::new(
+            BigUint::from(1009u64),
+            BigUint::one(),
+            BigUint::from(6u64),
+            BigUint::from(1u64),
+            BigUint::from(878u64),
+        )
+        .order(BigUint::from(1020u64))
+        .name("toy-1009")
+        .build()
+        .unwrap();
+        assert_eq!(shimmed.base_point(), speced.base_point());
+        assert_eq!(shimmed.order(), speced.order());
+        assert_eq!(shimmed.name(), speced.name());
+        assert_eq!(shimmed.bits(), speced.bits());
+    }
+
+    #[test]
+    fn hardcoded_generators_match_a_fresh_scan() {
+        // params.rs pins the generators the original constructors found by
+        // scanning x = 1, 2, ... — re-run the scan and compare.
+        for curve in [Curve::toy().unwrap(), Curve::p160_reproduction().unwrap()] {
+            let scanned = curve.find_point_from(1).expect("scan finds a point");
+            assert_eq!(
+                &scanned,
+                curve.base_point(),
+                "{}: hardcoded generator drifted from the scan",
+                curve.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hardcoded_toy_order_matches_a_fresh_count() {
+        let curve = Curve::toy().unwrap();
+        assert_eq!(
+            curve.count_points_exhaustively(),
+            curve.order().unwrap().clone(),
+            "hardcoded toy order drifted from the exhaustive count"
         );
-        assert!(matches!(err, Err(EccError::PointNotOnCurve)));
     }
 
     #[test]
@@ -642,12 +882,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         for _ in 0..5 {
             let p = curve.random_point(&mut rng);
-            let result = crate::scalar::scalar_mul(
-                &curve,
-                &p,
-                &order,
-                crate::ScalarMulAlgorithm::DoubleAndAdd,
-            );
+            let result = curve.scalar_mul(&p, &order, crate::ScalarMulAlgorithm::DoubleAndAdd);
             assert!(result.is_infinity(), "N·P must be the identity");
         }
     }

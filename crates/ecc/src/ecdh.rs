@@ -6,7 +6,7 @@ use rand::Rng;
 use crate::curve::Curve;
 use crate::error::EccError;
 use crate::point::AffinePoint;
-use crate::scalar::{scalar_mul, ScalarMulAlgorithm};
+use crate::scalar::ScalarMulAlgorithm;
 
 /// An ECC key pair `(d, d·G)`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -31,8 +31,7 @@ impl EccKeyPair {
 
     /// Builds a key pair from an explicit secret scalar.
     pub fn from_scalar(curve: &Curve, secret: BigUint) -> Self {
-        let public = scalar_mul(
-            curve,
+        let public = curve.scalar_mul(
             curve.base_point(),
             &secret,
             ScalarMulAlgorithm::DoubleAndAdd,
@@ -56,8 +55,32 @@ impl Curve {
     ///
     /// # Errors
     ///
-    /// Returns [`EccError::PointAtInfinity`] if the shared point degenerates
-    /// (e.g. a malicious peer sent a small-order point).
+    /// Returns [`EccError::PointNotOnCurve`] if the peer's point does not
+    /// satisfy the curve equation (invalid-curve attack), and
+    /// [`EccError::PointAtInfinity`] if the shared point degenerates
+    /// (e.g. a malicious peer sent a small-order point):
+    ///
+    /// ```
+    /// use bignum::BigUint;
+    /// use ecc::prelude::*;
+    ///
+    /// let curve = Curve::by_name("secp256k1")?;
+    /// let d = BigUint::from(2u64);
+    ///
+    /// // A peer point off the curve is rejected before any scalar math.
+    /// let forged = AffinePoint::new(curve.fp().from_u64(0), curve.fp().from_u64(1));
+    /// assert_eq!(
+    ///     curve.shared_secret(&d, &forged),
+    ///     Err(EccError::PointNotOnCurve)
+    /// );
+    ///
+    /// // A degenerate shared point (here: the identity itself) is reported.
+    /// assert_eq!(
+    ///     curve.shared_secret(&d, &AffinePoint::Infinity),
+    ///     Err(EccError::PointAtInfinity)
+    /// );
+    /// # Ok::<(), EccError>(())
+    /// ```
     pub fn shared_secret(
         &self,
         secret: &BigUint,
@@ -66,7 +89,7 @@ impl Curve {
         if !self.is_on_curve(peer_public) {
             return Err(EccError::PointNotOnCurve);
         }
-        let shared = scalar_mul(self, peer_public, secret, ScalarMulAlgorithm::Naf);
+        let shared = self.scalar_mul(peer_public, secret, ScalarMulAlgorithm::Naf);
         match shared.coordinates() {
             Some((x, _)) => Ok(self.fp().to_biguint(x)),
             None => Err(EccError::PointAtInfinity),

@@ -17,6 +17,19 @@ pub enum EccError {
     /// The operation produced or required the point at infinity where a
     /// finite point was expected.
     PointAtInfinity,
+    /// The name passed to [`Curve::by_name`](crate::Curve::by_name) is not
+    /// in the registry (the offending name is carried verbatim).
+    UnknownCurve(String),
+    /// A [`CurveSpec`](crate::CurveSpec) or
+    /// [`WeierstrassParameters`](crate::WeierstrassParameters) field failed
+    /// validation; `field` names the offending parameter.
+    InvalidParameters {
+        /// The spec/trait field that failed validation (e.g. `"p"`,
+        /// `"generator"`, `"A_IS_MINUS_THREE"`).
+        field: &'static str,
+        /// Why the field was rejected.
+        reason: &'static str,
+    },
     /// An underlying field operation failed.
     Field(FieldError),
 }
@@ -28,6 +41,10 @@ impl fmt::Display for EccError {
             EccError::PointNotOnCurve => write!(f, "point is not on the curve"),
             EccError::InvalidCompressedPoint => write!(f, "compressed point has no square root"),
             EccError::PointAtInfinity => write!(f, "unexpected point at infinity"),
+            EccError::UnknownCurve(name) => write!(f, "unknown curve: {name:?}"),
+            EccError::InvalidParameters { field, reason } => {
+                write!(f, "invalid curve parameter {field:?}: {reason}")
+            }
             EccError::Field(e) => write!(f, "field error: {e}"),
         }
     }
@@ -62,6 +79,15 @@ mod tests {
             .to_string()
             .contains("square root"));
         assert!(EccError::PointAtInfinity.to_string().contains("infinity"));
+        assert!(EccError::UnknownCurve("curve448".to_string())
+            .to_string()
+            .contains("curve448"));
+        let e = EccError::InvalidParameters {
+            field: "generator",
+            reason: "not on the curve",
+        };
+        assert!(e.to_string().contains("generator"));
+        assert!(e.to_string().contains("not on the curve"));
         assert!(EccError::from(FieldError::DivisionByZero)
             .source()
             .is_some());

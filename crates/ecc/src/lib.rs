@@ -9,14 +9,21 @@
 //! per-operation `Fp` multiplication/addition counts that feed the platform
 //! cycle model.
 //!
+//! Curves are described by the [`WeierstrassParameters`] trait — constants
+//! as associated data on zero-sized marker types — and built through
+//! [`Curve::from_parameters`] (or [`Curve::by_name`] at runtime). The
+//! registry ships the standards curves [`Secp256k1`] and [`P256`] alongside
+//! the paper's [`P160Reproduction`] and the tiny [`Toy`] validation curve;
+//! one-off curves use the [`CurveSpec`] builder directly.
+//!
 //! # Example
 //!
 //! ```
 //! # fn main() -> Result<(), ecc::EccError> {
-//! use ecc::{Curve, EccKeyPair};
+//! use ecc::prelude::*;
 //!
 //! let mut rng = rand::thread_rng();
-//! let curve = Curve::p160_reproduction()?;
+//! let curve = Curve::from_parameters::<Secp256k1>()?;
 //! let alice = EccKeyPair::generate(&curve, &mut rng);
 //! let bob = EccKeyPair::generate(&curve, &mut rng);
 //! let k1 = curve.shared_secret(alice.secret(), bob.public())?;
@@ -32,13 +39,35 @@
 mod curve;
 mod ecdh;
 mod error;
+mod params;
 mod point;
 mod scalar;
 
-pub use curve::Curve;
+pub use curve::{Curve, CurveSpec};
 pub use ecdh::EccKeyPair;
 pub use error::EccError;
+pub use params::{P160Reproduction, Secp256k1, Toy, WeierstrassParameters, P256};
 pub use point::{AffinePoint, JacobianPoint};
-pub use scalar::{
-    affine_window_table, naf_digits, scalar_mul, scalar_mul_base, ScalarMulAlgorithm,
-};
+#[allow(deprecated)] // re-exported for one release alongside the Curve methods
+pub use scalar::{affine_window_table, scalar_mul, scalar_mul_base};
+pub use scalar::{naf_digits, ScalarMulAlgorithm};
+
+/// One-line import for the common ECC surface: the parameter trait, the
+/// registered marker types, the curve and point types, and the key-exchange
+/// helpers.
+///
+/// ```
+/// use ecc::prelude::*;
+///
+/// let curve = Curve::by_name("p256")?;
+/// assert!(curve.a_is_minus_three());
+/// # Ok::<(), EccError>(())
+/// ```
+pub mod prelude {
+    pub use crate::curve::{Curve, CurveSpec};
+    pub use crate::ecdh::EccKeyPair;
+    pub use crate::error::EccError;
+    pub use crate::params::{P160Reproduction, Secp256k1, Toy, WeierstrassParameters, P256};
+    pub use crate::point::{AffinePoint, JacobianPoint};
+    pub use crate::scalar::{naf_digits, ScalarMulAlgorithm};
+}

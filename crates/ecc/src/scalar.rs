@@ -9,7 +9,7 @@
 //! mixed-coordinate formulas ([`Curve::jacobian_add_mixed`], `Z2 = 1`):
 //! the double-and-add and NAF ladders add the (already affine) base point
 //! or its negation, and the windowed ladder normalizes its precomputed
-//! table once ([`affine_window_table`]) before the main loop. This is the
+//! table once ([`Curve::affine_window_table`]) before the main loop. This is the
 //! access pattern the platform's 13-multiplication `pa_mixed` sequence
 //! prices; the general Jacobian addition ([`Curve::jacobian_add`]) remains
 //! the fallback for operands that are not in normalized form.
@@ -35,33 +35,67 @@ pub enum ScalarMulAlgorithm {
     Window4,
 }
 
+impl Curve {
+    /// Computes `k · point` with the selected algorithm.
+    pub fn scalar_mul(
+        &self,
+        point: &AffinePoint,
+        k: &BigUint,
+        algorithm: ScalarMulAlgorithm,
+    ) -> AffinePoint {
+        if k.is_zero() || point.is_infinity() {
+            return AffinePoint::Infinity;
+        }
+        let result = match algorithm {
+            ScalarMulAlgorithm::DoubleAndAdd => double_and_add(self, point, k),
+            ScalarMulAlgorithm::Naf => naf_mul(self, point, k),
+            ScalarMulAlgorithm::Window4 => window_mul(self, point, k, 4),
+        };
+        self.to_affine(&result)
+    }
+
+    /// Computes `k · base_point` with the default algorithm (double-and-add,
+    /// matching the sequence counted by the paper's cycle analysis).
+    pub fn scalar_mul_base(&self, k: &BigUint) -> AffinePoint {
+        self.scalar_mul(self.base_point(), k, ScalarMulAlgorithm::DoubleAndAdd)
+    }
+
+    /// Precomputes the windowed ladder's table `[O, P, 2P, .., (2^w - 1)·P]`
+    /// with every entry **normalized to affine form** — the one-time
+    /// normalization that lets the main loop use mixed additions only.
+    /// Exposed so tests can pin the ladder invariant (every addend is
+    /// affine and the correct multiple) without re-deriving the table.
+    pub fn affine_window_table(&self, point: &AffinePoint, window: usize) -> Vec<AffinePoint> {
+        let table_len = 1usize << window;
+        let mut table = Vec::with_capacity(table_len);
+        table.push(AffinePoint::Infinity);
+        table.push(point.clone());
+        for i in 2..table_len {
+            // Build in Jacobian, normalize immediately: the table is built
+            // once per scalar multiplication, so the per-entry inversion is
+            // the one-time cost that buys mixed additions in the main loop.
+            let next = self.jacobian_add_mixed(&self.to_jacobian(&table[i - 1]), point);
+            table.push(self.to_affine(&next));
+        }
+        table
+    }
+}
+
 /// Computes `k · point` with the selected algorithm.
+#[deprecated(note = "use the Curve::scalar_mul method")]
 pub fn scalar_mul(
     curve: &Curve,
     point: &AffinePoint,
     k: &BigUint,
     algorithm: ScalarMulAlgorithm,
 ) -> AffinePoint {
-    if k.is_zero() || point.is_infinity() {
-        return AffinePoint::Infinity;
-    }
-    let result = match algorithm {
-        ScalarMulAlgorithm::DoubleAndAdd => double_and_add(curve, point, k),
-        ScalarMulAlgorithm::Naf => naf_mul(curve, point, k),
-        ScalarMulAlgorithm::Window4 => window_mul(curve, point, k, 4),
-    };
-    curve.to_affine(&result)
+    curve.scalar_mul(point, k, algorithm)
 }
 
-/// Computes `k · base_point` with the default algorithm (double-and-add,
-/// matching the sequence counted by the paper's cycle analysis).
+/// Computes `k · base_point` with the default algorithm.
+#[deprecated(note = "use the Curve::scalar_mul_base method")]
 pub fn scalar_mul_base(curve: &Curve, k: &BigUint) -> AffinePoint {
-    scalar_mul(
-        curve,
-        curve.base_point(),
-        k,
-        ScalarMulAlgorithm::DoubleAndAdd,
-    )
+    curve.scalar_mul_base(k)
 }
 
 fn double_and_add(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPoint {
@@ -118,28 +152,14 @@ fn naf_mul(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPoint {
     acc
 }
 
-/// Precomputes the windowed ladder's table `[O, P, 2P, .., (2^w - 1)·P]`
-/// with every entry **normalized to affine form** — the one-time
-/// normalization that lets the main loop use mixed additions only. Exposed
-/// so tests can pin the ladder invariant (every addend is affine and the
-/// correct multiple) without re-deriving the table.
+/// Precomputes the windowed ladder's affine table.
+#[deprecated(note = "use the Curve::affine_window_table method")]
 pub fn affine_window_table(curve: &Curve, point: &AffinePoint, window: usize) -> Vec<AffinePoint> {
-    let table_len = 1usize << window;
-    let mut table = Vec::with_capacity(table_len);
-    table.push(AffinePoint::Infinity);
-    table.push(point.clone());
-    for i in 2..table_len {
-        // Build in Jacobian, normalize immediately: the table is built
-        // once per scalar multiplication, so the per-entry inversion is
-        // the one-time cost that buys mixed additions in the main loop.
-        let next = curve.jacobian_add_mixed(&curve.to_jacobian(&table[i - 1]), point);
-        table.push(curve.to_affine(&next));
-    }
-    table
+    curve.affine_window_table(point, window)
 }
 
 fn window_mul(curve: &Curve, point: &AffinePoint, k: &BigUint, window: usize) -> JacobianPoint {
-    let table = affine_window_table(curve, point, window);
+    let table = curve.affine_window_table(point, window);
     // Process the scalar in w-bit chunks, most significant first.
     let chunks = k.bit_len().div_ceil(window);
     let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
@@ -170,13 +190,10 @@ mod tests {
         for _ in 0..10 {
             let p = curve.random_point(&mut rng);
             let k = BigUint::random_bits(&mut rng, 40);
-            let reference = scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+            let reference = curve.scalar_mul(&p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+            assert_eq!(curve.scalar_mul(&p, &k, ScalarMulAlgorithm::Naf), reference);
             assert_eq!(
-                scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf),
-                reference
-            );
-            assert_eq!(
-                scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4),
+                curve.scalar_mul(&p, &k, ScalarMulAlgorithm::Window4),
                 reference
             );
             assert!(curve.is_on_curve(&reference));
@@ -189,13 +206,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let p = curve.random_point(&mut rng);
         let k = BigUint::random_bits(&mut rng, 160);
-        let reference = scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+        let reference = curve.scalar_mul(&p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+        assert_eq!(curve.scalar_mul(&p, &k, ScalarMulAlgorithm::Naf), reference);
         assert_eq!(
-            scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf),
-            reference
-        );
-        assert_eq!(
-            scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4),
+            curve.scalar_mul(&p, &k, ScalarMulAlgorithm::Window4),
             reference
         );
         assert!(curve.is_on_curve(&reference));
@@ -209,12 +223,7 @@ mod tests {
         let mut acc = AffinePoint::Infinity;
         for k in 0u64..20 {
             let expected = acc.clone();
-            let got = scalar_mul(
-                &curve,
-                &p,
-                &BigUint::from(k),
-                ScalarMulAlgorithm::DoubleAndAdd,
-            );
+            let got = curve.scalar_mul(&p, &BigUint::from(k), ScalarMulAlgorithm::DoubleAndAdd);
             assert_eq!(got, expected, "k = {k}");
             acc = curve.add(&acc, &p);
         }
@@ -227,10 +236,10 @@ mod tests {
         let p = curve.random_point(&mut rng);
         let a = BigUint::from(123u64);
         let b = BigUint::from(456u64);
-        let lhs = scalar_mul(&curve, &p, &(&a + &b), ScalarMulAlgorithm::DoubleAndAdd);
+        let lhs = curve.scalar_mul(&p, &(&a + &b), ScalarMulAlgorithm::DoubleAndAdd);
         let rhs = curve.add(
-            &scalar_mul(&curve, &p, &a, ScalarMulAlgorithm::DoubleAndAdd),
-            &scalar_mul(&curve, &p, &b, ScalarMulAlgorithm::DoubleAndAdd),
+            &curve.scalar_mul(&p, &a, ScalarMulAlgorithm::DoubleAndAdd),
+            &curve.scalar_mul(&p, &b, ScalarMulAlgorithm::DoubleAndAdd),
         );
         assert_eq!(lhs, rhs);
     }
@@ -256,17 +265,16 @@ mod tests {
         let curve = Curve::toy().unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(15);
         let p = curve.random_point(&mut rng);
-        assert!(scalar_mul(&curve, &p, &BigUint::zero(), ScalarMulAlgorithm::Naf).is_infinity());
-        assert!(scalar_mul(
-            &curve,
-            &AffinePoint::Infinity,
-            &BigUint::from(5u64),
-            ScalarMulAlgorithm::Window4
-        )
-        .is_infinity());
-        assert_eq!(
-            scalar_mul_base(&curve, &BigUint::one()),
-            *curve.base_point()
-        );
+        assert!(curve
+            .scalar_mul(&p, &BigUint::zero(), ScalarMulAlgorithm::Naf)
+            .is_infinity());
+        assert!(curve
+            .scalar_mul(
+                &AffinePoint::Infinity,
+                &BigUint::from(5u64),
+                ScalarMulAlgorithm::Window4
+            )
+            .is_infinity());
+        assert_eq!(curve.scalar_mul_base(&BigUint::one()), *curve.base_point());
     }
 }

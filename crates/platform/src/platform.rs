@@ -767,9 +767,39 @@ mod tests {
         let (got, report) = plat.ecc_scalar_multiplication(&curve, &p, &k);
         assert_eq!(
             got,
-            ecc::scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd)
+            curve.scalar_mul(&p, &k, ScalarMulAlgorithm::DoubleAndAdd)
         );
         assert!(report.modmuls > 0);
+    }
+
+    #[test]
+    fn named_256_bit_curves_exercise_both_pd_knob_sides() {
+        // P-256 has a = -3 (fast-PD eligible); secp256k1 does not, so the
+        // `fast_pd` cost knob must only pay off on P-256 while both curves
+        // stay functionally correct through the simulated ladder.
+        let fast = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);
+        let general = Platform::new(CostModel::paper().with_fast_pd(false), 4, Hierarchy::TypeB);
+        let k = BigUint::from(1_234_567u64);
+        for name in ["p256", "secp256k1"] {
+            let curve = Curve::by_name(name).unwrap();
+            let p = curve.base_point().clone();
+            let reference = curve.scalar_mul(&p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+            let (got_fast, report_fast) = fast.ecc_scalar_multiplication(&curve, &p, &k);
+            let (got_general, report_general) = general.ecc_scalar_multiplication(&curve, &p, &k);
+            assert_eq!(got_fast, reference, "{name}");
+            assert_eq!(got_general, reference, "{name}");
+            if curve.a_is_minus_three() {
+                assert!(
+                    report_fast.cycles < report_general.cycles,
+                    "{name}: fast-PD knob must save cycles on a = -3"
+                );
+            } else {
+                assert_eq!(
+                    report_fast.modmuls, report_general.modmuls,
+                    "{name}: without a = -3 the PD sequences are the same length"
+                );
+            }
+        }
     }
 
     #[test]

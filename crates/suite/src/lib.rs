@@ -25,7 +25,7 @@ pub use rsa_torus;
 pub mod prelude {
     pub use bignum::{BigUint, MontgomeryParams};
     pub use ceilidh::{compress, decompress, shared_secret, CeilidhParams, KeyPair, TorusElement};
-    pub use ecc::{scalar_mul, Curve, EccKeyPair, ScalarMulAlgorithm};
+    pub use ecc::prelude::*;
     pub use field::{Fp6Context, FpContext};
     pub use platform::{CostModel, Hierarchy, Platform};
     pub use rsa_torus::RsaKeyPair;

@@ -6,7 +6,7 @@
 
 use bignum::BigUint;
 use ceilidh::{CeilidhParams, KeyPair};
-use ecc::{Curve, EccKeyPair};
+use ecc::prelude::*;
 use platform::{CostModel, Hierarchy, Platform};
 use rsa_torus::RsaKeyPair;
 
@@ -49,6 +49,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (_, report) = plat.ecc_scalar_multiplication(&curve, e_bob.public(), e_alice.secret());
     println!(
         "  simulated scalar multiplication: {} cycles = {:.1} ms",
+        report.cycles,
+        report.time_ms(&cost)
+    );
+
+    println!("=== ECC (P-256, beyond-paper prediction) ===");
+    let p256 = Curve::by_name("p256")?;
+    let n_alice = EccKeyPair::generate(&p256, &mut rng);
+    let n_bob = EccKeyPair::generate(&p256, &mut rng);
+    assert_eq!(
+        p256.shared_secret(n_alice.secret(), n_bob.public())?,
+        p256.shared_secret(n_bob.secret(), n_alice.public())?
+    );
+    let (_, report) = plat.ecc_scalar_multiplication(&p256, n_bob.public(), n_alice.secret());
+    println!(
+        "  simulated scalar multiplication ({}-bit, a = -3 fast PD): {} cycles = {:.1} ms",
+        p256.bits(),
         report.cycles,
         report.time_ms(&cost)
     );

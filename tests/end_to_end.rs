@@ -6,7 +6,7 @@ use ceilidh::{
     compress, decompress, decrypt_hybrid, encrypt_hybrid, shared_secret, shared_secret_bytes, sign,
     verify, CeilidhParams, KeyPair,
 };
-use ecc::{scalar_mul, Curve, EccKeyPair, ScalarMulAlgorithm};
+use ecc::prelude::*;
 use platform::{CostModel, Hierarchy, Platform};
 use rand::SeedableRng;
 use rsa_torus::RsaKeyPair;
@@ -87,7 +87,7 @@ fn ecc_and_rsa_comparators_interoperate_with_the_platform() {
     let curve = Curve::p160_reproduction().expect("built-in curve");
     let kp = EccKeyPair::generate(&curve, &mut rng);
     let k = BigUint::random_bits(&mut rng, 48);
-    let host = scalar_mul(&curve, kp.public(), &k, ScalarMulAlgorithm::Naf);
+    let host = curve.scalar_mul(kp.public(), &k, ScalarMulAlgorithm::Naf);
     let (simulated, _) = plat.ecc_scalar_multiplication(&curve, kp.public(), &k);
     assert_eq!(simulated, host);
 

@@ -14,7 +14,7 @@
 //!   its one-time normalization.
 
 use bignum::BigUint;
-use ecc::{affine_window_table, scalar_mul, AffinePoint, Curve, ScalarMulAlgorithm};
+use ecc::{AffinePoint, Curve, CurveSpec, ScalarMulAlgorithm};
 use field::FpContext;
 use platform::{CostModel, Hierarchy, Platform};
 use proptest::prelude::*;
@@ -41,16 +41,10 @@ fn random_toy_curve(seed: u64) -> Option<Curve> {
                 None => continue,
             }
         };
-        return Curve::new(
-            &p,
-            &a,
-            &b,
-            &BigUint::from(xi),
-            &fp.to_biguint(&y),
-            None,
-            "prop-toy",
-        )
-        .ok();
+        return CurveSpec::new(p, a, b, BigUint::from(xi), fp.to_biguint(&y))
+            .name("prop-toy")
+            .build()
+            .ok();
     }
     None
 }
@@ -69,10 +63,10 @@ proptest! {
         let base = curve.base_point().clone();
         // An accumulator with a generic (non-one) Z coordinate.
         let acc = curve.jacobian_double(&curve.jacobian_add_mixed(
-            &curve.to_jacobian(&scalar_mul(&curve, &base, &BigUint::from(k), ScalarMulAlgorithm::DoubleAndAdd)),
+            &curve.to_jacobian(&curve.scalar_mul(&base, &BigUint::from(k), ScalarMulAlgorithm::DoubleAndAdd)),
             &base,
         ));
-        let addend = scalar_mul(&curve, &base, &BigUint::from(m), ScalarMulAlgorithm::DoubleAndAdd);
+        let addend = curve.scalar_mul(&base, &BigUint::from(m), ScalarMulAlgorithm::DoubleAndAdd);
         let mixed = curve.jacobian_add_mixed(&acc, &addend);
         let general = curve.jacobian_add(&acc, &curve.to_jacobian(&addend));
         prop_assert_eq!(curve.to_affine(&mixed), curve.to_affine(&general));
@@ -87,9 +81,9 @@ proptest! {
         let curve = curve.unwrap();
         let p = curve.base_point().clone();
         let k = BigUint::from(k);
-        let reference = scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::DoubleAndAdd);
-        prop_assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Naf), reference.clone());
-        prop_assert_eq!(scalar_mul(&curve, &p, &k, ScalarMulAlgorithm::Window4), reference.clone());
+        let reference = curve.scalar_mul(&p, &k, ScalarMulAlgorithm::DoubleAndAdd);
+        prop_assert_eq!(curve.scalar_mul(&p, &k, ScalarMulAlgorithm::Naf), reference.clone());
+        prop_assert_eq!(curve.scalar_mul(&p, &k, ScalarMulAlgorithm::Window4), reference.clone());
         prop_assert!(curve.is_on_curve(&reference));
     }
 
@@ -133,10 +127,10 @@ proptest! {
         prop_assume!(curve.is_some());
         let curve = curve.unwrap();
         let p = curve.base_point().clone();
-        let table = affine_window_table(&curve, &p, window);
+        let table = curve.affine_window_table(&p, window);
         prop_assert_eq!(table.len(), 1 << window);
         for (i, entry) in table.iter().enumerate() {
-            let expected = scalar_mul(&curve, &p, &BigUint::from(i as u64), ScalarMulAlgorithm::DoubleAndAdd);
+            let expected = curve.scalar_mul(&p, &BigUint::from(i as u64), ScalarMulAlgorithm::DoubleAndAdd);
             prop_assert_eq!(entry.clone(), expected);
             // Affine entries lift to normalized Jacobian form — the mixed
             // sequence's precondition — except the identity, which the
