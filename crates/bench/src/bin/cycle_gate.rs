@@ -82,11 +82,14 @@ fn markdown_rows(out: &mut String, rows: &[&ScoreRow]) {
 
 /// Renders the markdown reproduction scorecard appended to
 /// `$GITHUB_STEP_SUMMARY`: the paper-reproduction rows first, then the
-/// beyond-paper 256-bit predictions in their own section so reviewers
-/// never mistake a prediction for a reproduced number.
+/// beyond-paper 256-bit predictions and the throughput-engine serving
+/// rows in their own sections so reviewers never mistake a prediction or
+/// a serving number for a reproduced one.
 fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
-    let (predictions, reproductions): (Vec<&ScoreRow>, Vec<&ScoreRow>) = rows
-        .iter()
+    let (engine, model): (Vec<&ScoreRow>, Vec<&ScoreRow>) =
+        rows.iter().partition(|row| row.name.starts_with("engine_"));
+    let (predictions, reproductions): (Vec<&ScoreRow>, Vec<&ScoreRow>) = model
+        .into_iter()
         .partition(|row| metrics::is_beyond_paper(&row.name));
     let mut out = String::from("## Cycle-accuracy scorecard\n\n");
     markdown_rows(&mut out, &reproductions);
@@ -98,6 +101,18 @@ fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
              tolerance, with no paper column by construction.\n\n",
         );
         markdown_rows(&mut out, &predictions);
+    }
+    if !engine.is_empty() {
+        out.push_str(
+            "\n### Throughput-engine serving rows\n\n\
+             Deterministic virtual-time serving metrics (ops/sec, tail \
+             latency, batch cache hit rate) from the fixed mixed traffic \
+             trace — the Fig. 5 scaling story extended from cores to \
+             coprocessor instances. Model columns are not cycles for the \
+             ops/sec and hit-rate rows; the gate pins them for drift like \
+             every other row.\n\n",
+        );
+        markdown_rows(&mut out, &engine);
     }
     let verdict = if failures.is_empty() {
         format!(

@@ -6,6 +6,7 @@
 //! `crates/bench/golden/cycles.json` via the `cycle_gate` binary.
 
 use bench::{metrics, paper, print_table, Row};
+use engine::{Fleet, FleetConfig, TrafficProfile};
 use platform::{Coprocessor, CostModel, Hierarchy, Platform};
 
 fn main() {
@@ -108,6 +109,32 @@ fn main() {
         ),
     ];
     print_table("Derived claims: paper vs reproduction", &rows);
+
+    // Throughput-engine serving numbers (beyond the paper): the gated
+    // mixed trace served on growing fleets of the 4-core Type-B platform
+    // — the Fig. 5 scaling story extended from cores to instances.
+    let trace = TrafficProfile::mixed_date2008()
+        .generate(metrics::ENGINE_TRACE_SEED, metrics::ENGINE_TRACE_REQUESTS);
+    println!(
+        "\nThroughput engine: {} requests, mixed sign/ECDH/RSA/torus trace (seed {})",
+        metrics::ENGINE_TRACE_REQUESTS,
+        metrics::ENGINE_TRACE_SEED
+    );
+    println!(
+        "{:<11} {:>8} {:>10} {:>10} {:>6} {:>6}",
+        "instances", "ops/sec", "p50 [ms]", "p99 [ms]", "util", "hit%"
+    );
+    for instances in [1usize, 2, 4, 8] {
+        let summary = Fleet::new(FleetConfig::date2008(instances)).run(trace.clone());
+        println!(
+            "{instances:<11} {:>8} {:>10.2} {:>10.2} {:>5}% {:>5}%",
+            summary.ops_per_sec,
+            to_ms(summary.p50_latency_cycles),
+            to_ms(summary.p99_latency_cycles),
+            summary.utilization_pct(),
+            summary.cache_hit_rate_pct(),
+        );
+    }
 
     if let Ok(path) = std::env::var("BENCH_REPORT_JSON") {
         let collected = metrics::collect();

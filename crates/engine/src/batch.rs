@@ -1,0 +1,179 @@
+//! Batch formation: grouping queued requests by [`WorkClass`].
+//!
+//! The scheduler dispatches work to an instance one **batch** at a time.
+//! A batch is a run of queued requests sharing one [`WorkClass`], so the
+//! instance fetches each compiled program once (a single
+//! [`platform::ProgramCache`] lookup per program) and then executes the
+//! whole batch against it — the request-level analogue of the ladder
+//! drivers' compile-once loops.
+//!
+//! Formation is deliberately simple and deterministic: take the class of
+//! the **oldest** queued request (no starvation — the head of the queue
+//! is always served next), then sweep the queue front-to-back collecting
+//! requests of that class up to [`BatchPolicy::max_batch_size`]. Requests
+//! of other classes keep their relative order.
+//!
+//! ```
+//! use std::collections::VecDeque;
+//! use engine::batch::BatchPolicy;
+//! use engine::queue::{Operation, Request};
+//!
+//! let mut queue: VecDeque<Request> = [
+//!     Request::new(0, Operation::Sign { curve: "p256".into() }, 0),
+//!     Request::new(1, Operation::RsaDecrypt { bits: 1024 }, 0),
+//!     Request::new(2, Operation::KeyAgreement { curve: "p256".into() }, 0),
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let policy = BatchPolicy::default();
+//! let batch = policy.take_batch(&mut queue).unwrap();
+//! // The sign and the ECDH over p256 batch together, past the RSA job...
+//! assert_eq!(batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 2]);
+//! // ...which stays queued and forms the next batch.
+//! assert_eq!(policy.take_batch(&mut queue).unwrap().requests[0].id, 1);
+//! assert!(queue.is_empty());
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::queue::{Request, WorkClass};
+
+/// Knobs of the batch-formation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest number of requests one batch may carry. Bigger batches
+    /// amortise the program fetch further but lengthen the tail latency
+    /// of the last request in the batch.
+    pub max_batch_size: usize,
+}
+
+impl Default for BatchPolicy {
+    /// Eight requests per batch — deep enough to amortise every program
+    /// fetch into the noise, shallow enough to keep p99 bounded.
+    fn default() -> Self {
+        BatchPolicy { max_batch_size: 8 }
+    }
+}
+
+/// A dispatched unit of work: same-class requests served back-to-back on
+/// one instance against one program fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The class every member shares.
+    pub class: WorkClass,
+    /// The member requests, oldest first.
+    pub requests: Vec<Request>,
+}
+
+impl Batch {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the batch carries no requests (never produced by
+    /// [`BatchPolicy::take_batch`], which returns `None` instead).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+impl BatchPolicy {
+    /// Forms the next batch from the queue, or `None` if it is empty.
+    ///
+    /// The batch takes the oldest request's class and collects up to
+    /// [`BatchPolicy::max_batch_size`] requests of that class in queue
+    /// order; everything else stays queued in its original relative
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch_size` is zero.
+    pub fn take_batch(&self, queue: &mut VecDeque<Request>) -> Option<Batch> {
+        assert!(self.max_batch_size > 0, "max_batch_size must be positive");
+        let class = queue.front()?.class().clone();
+        let mut requests = Vec::new();
+        let mut i = 0;
+        while i < queue.len() && requests.len() < self.max_batch_size {
+            if queue[i].class() == &class {
+                requests.push(queue.remove(i).expect("index is in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        Some(Batch { class, requests })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Operation;
+
+    fn sign(id: u64) -> Request {
+        Request::new(
+            id,
+            Operation::Sign {
+                curve: "p256".into(),
+            },
+            0,
+        )
+    }
+
+    fn rsa(id: u64) -> Request {
+        Request::new(id, Operation::RsaDecrypt { bits: 1024 }, 0)
+    }
+
+    #[test]
+    fn empty_queue_yields_no_batch() {
+        let mut queue = VecDeque::new();
+        assert_eq!(BatchPolicy::default().take_batch(&mut queue), None);
+    }
+
+    #[test]
+    fn batches_cap_at_max_size_and_preserve_order() {
+        let mut queue: VecDeque<Request> = (0..5).map(sign).collect();
+        let policy = BatchPolicy { max_batch_size: 3 };
+        let first = policy.take_batch(&mut queue).unwrap();
+        assert_eq!(
+            first.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        let second = policy.take_batch(&mut queue).unwrap();
+        assert_eq!(
+            second.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [3, 4]
+        );
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn other_classes_keep_their_relative_order() {
+        let mut queue: VecDeque<Request> = [sign(0), rsa(1), sign(2), rsa(3), sign(4)]
+            .into_iter()
+            .collect();
+        let policy = BatchPolicy::default();
+        let ecc = policy.take_batch(&mut queue).unwrap();
+        assert_eq!(
+            ecc.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [0, 2, 4]
+        );
+        assert_eq!(queue.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 3]);
+        let rsa_batch = policy.take_batch(&mut queue).unwrap();
+        assert_eq!(rsa_batch.class, WorkClass::Rsa { bits: 1024 });
+        assert_eq!(rsa_batch.len(), 2);
+        assert!(!rsa_batch.is_empty());
+    }
+
+    #[test]
+    fn head_of_queue_is_always_served_first() {
+        // Even when a later class has more members, the oldest request
+        // picks the class: no starvation of minority traffic.
+        let mut queue: VecDeque<Request> =
+            [rsa(0), sign(1), sign(2), sign(3)].into_iter().collect();
+        let batch = BatchPolicy::default().take_batch(&mut queue).unwrap();
+        assert_eq!(batch.class, WorkClass::Rsa { bits: 1024 });
+        assert_eq!(batch.len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Throughput engine: a batched request scheduler over a fleet of
+//! simulated coprocessor instances.
+//!
+//! The paper's Fig. 5 scales **cores per Montgomery multiplication**;
+//! this crate extends the same story one level up, to **requests per
+//! second per coprocessor instance**. It models a farm of the platform's
+//! coprocessors behind an asynchronous request scheduler:
+//!
+//! * [`queue`] — request types (signing / ECDH / RSA / torus), the
+//!   [`queue::WorkClass`] batching key, and deterministic shim-RNG
+//!   arrival processes ([`queue::TrafficProfile`]);
+//! * [`batch`] — batch formation: group queued same-class requests so
+//!   one [`platform::CompiledProgram`] fetch amortises across the batch
+//!   ([`batch::BatchPolicy`]);
+//! * [`fleet`] — the farm itself: `n` instances sharing one
+//!   [`platform::ProgramCache`], per-instance occupancy, per-class
+//!   service pricing through the calibrated `schedule` model, and the
+//!   deterministic **virtual-time** event loop ([`fleet::Fleet::run`]);
+//! * [`metrics`] — nearest-rank latency percentiles, integer ops/sec,
+//!   queue-depth and batch-size telemetry ([`metrics::RunSummary`]).
+//!
+//! Everything is integer cycle arithmetic over a seeded RNG — no wall
+//! clock, no floats in the hot path — so every run is bit-reproducible
+//! and the headline numbers can be gated in `golden/cycles.json` exactly
+//! like cycle rows.
+//!
+//! # Example
+//!
+//! Serve one burst of mixed traffic on fleets of 1 and 4 instances:
+//!
+//! ```
+//! use engine::prelude::*;
+//!
+//! let trace = TrafficProfile::mixed_date2008().burst(2, 96);
+//! let mut single = Fleet::new(FleetConfig::date2008(1));
+//! let mut quad = Fleet::new(FleetConfig::date2008(4));
+//! let (s, q) = (single.run(trace.clone()), quad.run(trace));
+//!
+//! assert_eq!((s.completed, q.completed), (96, 96));
+//! assert!(q.ops_per_sec >= s.ops_per_sec, "scaling never hurts a burst");
+//! assert!(q.p50_latency_cycles <= q.p99_latency_cycles);
+//! // Batching amortises compiles: far more cache hits than misses.
+//! assert!(q.cache_hits > q.cache_misses);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod fleet;
+pub mod metrics;
+pub mod queue;
+
+pub use batch::{Batch, BatchPolicy};
+pub use fleet::{Fleet, FleetConfig};
+pub use metrics::{percentile, RunSummary};
+pub use queue::{Operation, Request, TrafficProfile, WorkClass};
+
+/// One-line import for examples and tests.
+///
+/// ```
+/// use engine::prelude::*;
+///
+/// let profile = TrafficProfile::mixed_date2008();
+/// assert!(!profile.mix.is_empty());
+/// ```
+pub mod prelude {
+    pub use crate::batch::{Batch, BatchPolicy};
+    pub use crate::fleet::{Fleet, FleetConfig};
+    pub use crate::metrics::{percentile, RunSummary};
+    pub use crate::queue::{Operation, Request, TrafficProfile, WorkClass};
+}

@@ -1,0 +1,209 @@
+//! Run summaries: latency percentiles, throughput and batching telemetry.
+//!
+//! Everything here is integer arithmetic over virtual cycles, so the same
+//! trace on the same fleet produces bit-identical numbers on every host —
+//! which is what lets `bench` gate ops/sec and cache-hit-rate rows in
+//! `golden/cycles.json` exactly like cycle rows.
+//!
+//! ```
+//! use engine::metrics::percentile;
+//!
+//! let sorted = [10, 20, 30, 40];
+//! assert_eq!(percentile(&sorted, 50), 20);
+//! assert_eq!(percentile(&sorted, 99), 40);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// The `pct`-th percentile of an ascending-sorted sample, by the
+/// **nearest-rank** method: the `ceil(pct/100 · n)`-th smallest value.
+///
+/// Nearest-rank always returns an observed sample (no interpolation), is
+/// exact in integer arithmetic, and is monotone in `pct` — so
+/// `percentile(s, 50) <= percentile(s, 99)` holds for every sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, unsorted, or `pct` is outside `1..=100`.
+pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((1..=100).contains(&pct), "percentile rank must be 1..=100");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sample unsorted");
+    let rank = (pct * sorted.len() as u64).div_ceil(100);
+    sorted[rank as usize - 1]
+}
+
+/// Everything one [`crate::fleet::Fleet::run`] measured, in virtual
+/// cycles and exact integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of instances the fleet ran.
+    pub instances: usize,
+    /// Requests completed (every request completes; the model never
+    /// drops work).
+    pub completed: u64,
+    /// Virtual cycle at which the last request completed.
+    pub makespan_cycles: u64,
+    /// Median request latency (arrival → completion), nearest-rank.
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile request latency, nearest-rank.
+    pub p99_latency_cycles: u64,
+    /// Worst request latency.
+    pub max_latency_cycles: u64,
+    /// Completed requests per wall second at the modeled clock:
+    /// `completed · clock_hz / makespan_cycles`, in integer arithmetic.
+    pub ops_per_sec: u64,
+    /// Deepest the queue got, observed at each dispatch after admitting
+    /// arrivals.
+    pub peak_queue_depth: usize,
+    /// `batch size → number of batches` histogram.
+    pub batch_size_histogram: BTreeMap<usize, u64>,
+    /// Program-cache hits recorded by this run's dispatches.
+    pub cache_hits: u64,
+    /// Program-cache misses (compiles) recorded by this run's dispatches.
+    pub cache_misses: u64,
+    /// Busy cycles per instance (occupancy), indexed by instance.
+    pub instance_busy_cycles: Vec<u64>,
+}
+
+impl RunSummary {
+    /// Batch program-cache hit rate in integer percent (`0` when the run
+    /// performed no program lookups, e.g. pure-RSA traffic).
+    pub fn cache_hit_rate_pct(&self) -> u64 {
+        let total = self.cache_hits + self.cache_misses;
+        (self.cache_hits * 100).checked_div(total).unwrap_or(0)
+    }
+
+    /// Total batches dispatched.
+    pub fn batches(&self) -> u64 {
+        self.batch_size_histogram.values().sum()
+    }
+
+    /// Mean batch size ×100 (integer fixed-point, e.g. `250` = 2.5
+    /// requests per batch); `0` for an empty run.
+    pub fn mean_batch_size_x100(&self) -> u64 {
+        (self.completed * 100)
+            .checked_div(self.batches())
+            .unwrap_or(0)
+    }
+
+    /// Fleet-wide occupancy in integer percent: busy cycles summed over
+    /// instances against `instances · makespan` offered cycles (`0` for
+    /// an empty run).
+    pub fn utilization_pct(&self) -> u64 {
+        let offered = self.makespan_cycles * self.instances as u64;
+        (self.instance_busy_cycles.iter().sum::<u64>() * 100)
+            .checked_div(offered)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        // n = 1: every rank rounds to the only observation.
+        assert_eq!(percentile(&[42], 1), 42);
+        assert_eq!(percentile(&[42], 50), 42);
+        assert_eq!(percentile(&[42], 99), 42);
+        assert_eq!(percentile(&[42], 100), 42);
+    }
+
+    #[test]
+    fn percentile_hand_computed_distribution() {
+        // n = 10, values 10..=100: rank(p50) = ceil(0.5·10) = 5 → 50,
+        // rank(p99) = ceil(9.9) = 10 → 100, rank(p10) = 1 → 10.
+        let sorted: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        assert_eq!(percentile(&sorted, 10), 10);
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 90), 90);
+        assert_eq!(percentile(&sorted, 99), 100);
+        assert_eq!(percentile(&sorted, 100), 100);
+    }
+
+    #[test]
+    fn percentile_tied_values() {
+        // Ties collapse ranks onto the same observation: with nine 7s and
+        // one 1000, every rank up to 90 sees 7 and only p91+ sees the
+        // outlier.
+        let sorted = [7, 7, 7, 7, 7, 7, 7, 7, 7, 1000];
+        assert_eq!(percentile(&sorted, 50), 7);
+        assert_eq!(percentile(&sorted, 90), 7);
+        assert_eq!(percentile(&sorted, 91), 1000);
+        assert_eq!(percentile(&sorted, 99), 1000);
+        // All-tied sample: every percentile is the tie.
+        let flat = [5; 17];
+        assert_eq!(percentile(&flat, 1), 5);
+        assert_eq!(percentile(&flat, 99), 5);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_rank() {
+        let sorted = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+        for pct in 1..100 {
+            assert!(percentile(&sorted, pct) <= percentile(&sorted, pct + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_empty_samples() {
+        percentile(&[], 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1..=100")]
+    fn percentile_rejects_rank_zero() {
+        percentile(&[1], 0);
+    }
+
+    #[test]
+    fn hit_rate_and_batch_means_are_integer_exact() {
+        let mut histogram = BTreeMap::new();
+        histogram.insert(1usize, 2u64);
+        histogram.insert(4, 3);
+        let summary = RunSummary {
+            instances: 2,
+            completed: 14,
+            makespan_cycles: 1000,
+            p50_latency_cycles: 10,
+            p99_latency_cycles: 20,
+            max_latency_cycles: 25,
+            ops_per_sec: 0,
+            peak_queue_depth: 9,
+            batch_size_histogram: histogram,
+            cache_hits: 7,
+            cache_misses: 3,
+            instance_busy_cycles: vec![900, 600],
+        };
+        assert_eq!(summary.cache_hit_rate_pct(), 70);
+        assert_eq!(summary.batches(), 5);
+        // 14 requests over 5 batches = 2.8 → 280 in ×100 fixed-point.
+        assert_eq!(summary.mean_batch_size_x100(), 280);
+        // 1500 busy cycles over 2 × 1000 offered = 75%.
+        assert_eq!(summary.utilization_pct(), 75);
+    }
+
+    #[test]
+    fn zero_lookup_runs_report_zero_hit_rate() {
+        let summary = RunSummary {
+            instances: 1,
+            completed: 0,
+            makespan_cycles: 0,
+            p50_latency_cycles: 0,
+            p99_latency_cycles: 0,
+            max_latency_cycles: 0,
+            ops_per_sec: 0,
+            peak_queue_depth: 0,
+            batch_size_histogram: BTreeMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            instance_busy_cycles: vec![0],
+        };
+        assert_eq!(summary.cache_hit_rate_pct(), 0);
+        assert_eq!(summary.mean_batch_size_x100(), 0);
+        assert_eq!(summary.utilization_pct(), 0);
+    }
+}

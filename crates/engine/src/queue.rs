@@ -1,0 +1,324 @@
+//! The work queue: request types, batching classes and arrival processes.
+//!
+//! A [`Request`] is one public-key operation a client asked the fleet to
+//! perform — signing, key agreement, RSA decryption or a torus (CEILIDH)
+//! exponentiation — stamped with a **virtual-time** arrival cycle. The
+//! engine never looks at a wall clock: arrivals, service and completion
+//! all live on the coprocessor's cycle axis, which is what makes every
+//! simulation bit-reproducible.
+//!
+//! Each request maps to a [`WorkClass`] — the equivalence key under which
+//! the [`crate::batch`] layer groups requests so one
+//! [`platform::CompiledProgram`] fetch amortises across the whole batch.
+//! Signing and ECDH over the same curve share a class: both are one
+//! scalar multiplication, driven by the same ladder programs.
+//!
+//! [`TrafficProfile`] turns a weighted operation mix plus a mean
+//! inter-arrival gap into a deterministic request trace via the seeded
+//! shim RNG:
+//!
+//! ```
+//! use engine::queue::TrafficProfile;
+//!
+//! let profile = TrafficProfile::mixed_date2008();
+//! let trace = profile.generate(7, 100);
+//! assert_eq!(trace.len(), 100);
+//! // Same seed, same trace — arrivals are virtual cycles, not wall time.
+//! assert_eq!(trace, profile.generate(7, 100));
+//! assert!(trace.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One public-key operation a client can ask the fleet to perform.
+///
+/// The variants mirror the paper's three workload families (ECC, RSA,
+/// torus); curves are named through [`ecc::Curve::by_name`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Operation {
+    /// An ECDSA-style signature: one scalar multiplication over `curve`.
+    Sign {
+        /// Registered curve name (e.g. `"p256"`).
+        curve: String,
+    },
+    /// An ECDH key agreement: one scalar multiplication over `curve`.
+    KeyAgreement {
+        /// Registered curve name (e.g. `"secp256k1"`).
+        curve: String,
+    },
+    /// An RSA private-key operation: one `bits`-bit modular
+    /// exponentiation driven MM-by-MM by the MicroBlaze.
+    RsaDecrypt {
+        /// Modulus length in bits (e.g. `1024`).
+        bits: usize,
+    },
+    /// A torus (CEILIDH) exponentiation: a square-and-multiply ladder of
+    /// `Fp6` multiplications at `bits`-bit operands.
+    TorusExp {
+        /// Base-field length in bits (the paper's system uses `170`).
+        bits: usize,
+    },
+}
+
+impl Operation {
+    /// The batching class this operation belongs to.
+    ///
+    /// ```
+    /// use engine::queue::Operation;
+    ///
+    /// let sign = Operation::Sign { curve: "p256".into() };
+    /// let ecdh = Operation::KeyAgreement { curve: "p256".into() };
+    /// // Both are one scalar multiplication: they batch together.
+    /// assert_eq!(sign.work_class(), ecdh.work_class());
+    /// ```
+    pub fn work_class(&self) -> WorkClass {
+        match self {
+            Operation::Sign { curve } | Operation::KeyAgreement { curve } => WorkClass::Ecc {
+                curve: curve.clone(),
+            },
+            Operation::RsaDecrypt { bits } => WorkClass::Rsa { bits: *bits },
+            Operation::TorusExp { bits } => WorkClass::Torus { bits: *bits },
+        }
+    }
+
+    /// Short human-readable label (used by examples and reports).
+    pub fn label(&self) -> String {
+        match self {
+            Operation::Sign { curve } => format!("sign/{curve}"),
+            Operation::KeyAgreement { curve } => format!("ecdh/{curve}"),
+            Operation::RsaDecrypt { bits } => format!("rsa-{bits}"),
+            Operation::TorusExp { bits } => format!("torus-{bits}"),
+        }
+    }
+}
+
+/// The equivalence key batch formation groups requests under.
+///
+/// Two requests in the same class run the same compiled program(s) at the
+/// same operand length, so a batch of them pays the program fetch once.
+/// The ordering is derived so classes can key deterministic `BTreeMap`s.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkClass {
+    /// Scalar multiplication over a named curve (signing and ECDH).
+    Ecc {
+        /// Registered curve name.
+        curve: String,
+    },
+    /// RSA modular exponentiation at `bits`-bit moduli. RSA has no
+    /// level-2 program — the MicroBlaze drives raw Montgomery
+    /// multiplications — so this class carries no compile overhead.
+    Rsa {
+        /// Modulus length in bits.
+        bits: usize,
+    },
+    /// Torus exponentiation at `bits`-bit base fields.
+    Torus {
+        /// Base-field length in bits.
+        bits: usize,
+    },
+}
+
+impl std::fmt::Display for WorkClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkClass::Ecc { curve } => write!(f, "ecc/{curve}"),
+            WorkClass::Rsa { bits } => write!(f, "rsa/{bits}"),
+            WorkClass::Torus { bits } => write!(f, "torus/{bits}"),
+        }
+    }
+}
+
+/// One queued unit of work: an operation plus its virtual arrival time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Monotone request identifier (assigned by the trace generator).
+    pub id: u64,
+    /// The operation to perform.
+    pub op: Operation,
+    /// Arrival time in virtual cycles.
+    pub arrival: u64,
+    class: WorkClass,
+}
+
+impl Request {
+    /// Creates a request, precomputing its batching class once so the
+    /// scheduler's per-dispatch comparisons are cheap.
+    pub fn new(id: u64, op: Operation, arrival: u64) -> Self {
+        let class = op.work_class();
+        Request {
+            id,
+            op,
+            arrival,
+            class,
+        }
+    }
+
+    /// The batching class (precomputed at construction).
+    pub fn class(&self) -> &WorkClass {
+        &self.class
+    }
+}
+
+/// A weighted operation mix plus an arrival process, from which
+/// deterministic request traces are drawn.
+///
+/// Inter-arrival gaps are sampled **uniformly over `0..=2·mean`** integer
+/// cycles rather than exponentially: the mean is the same, but the model
+/// stays in pure integer arithmetic (no `ln`, no platform-dependent libm
+/// rounding), which keeps traces — and therefore the gated throughput
+/// rows — bit-identical everywhere.
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    /// `(operation template, weight)` pairs; draws are proportional to
+    /// weight. Must be non-empty with a positive total weight.
+    pub mix: Vec<(Operation, u64)>,
+    /// Mean inter-arrival gap in virtual cycles (0 = a pure burst).
+    pub mean_interarrival: u64,
+}
+
+impl TrafficProfile {
+    /// The mixed reproduction workload: mostly 256-bit ECDSA signing with
+    /// ECDH, 1024-bit RSA decryption and 170-bit torus exponentiation
+    /// alongside — the paper's three families at its own parameter sizes.
+    pub fn mixed_date2008() -> Self {
+        TrafficProfile {
+            mix: vec![
+                (
+                    Operation::Sign {
+                        curve: "p256".into(),
+                    },
+                    4,
+                ),
+                (
+                    Operation::KeyAgreement {
+                        curve: "secp256k1".into(),
+                    },
+                    2,
+                ),
+                (Operation::RsaDecrypt { bits: 1024 }, 1),
+                (Operation::TorusExp { bits: 170 }, 1),
+            ],
+            mean_interarrival: 200_000,
+        }
+    }
+
+    /// Draws a deterministic trace of `n` requests from the seeded shim
+    /// RNG, with non-decreasing arrival times starting at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty or its total weight is zero.
+    pub fn generate(&self, seed: u64, n: usize) -> Vec<Request> {
+        let total: u64 = self.mix.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0, "traffic mix needs a positive total weight");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrival = 0u64;
+        (0..n as u64)
+            .map(|id| {
+                let mut ticket = rng.gen_range(0..total);
+                let op = self
+                    .mix
+                    .iter()
+                    .find(|(_, w)| {
+                        if ticket < *w {
+                            true
+                        } else {
+                            ticket -= *w;
+                            false
+                        }
+                    })
+                    .map(|(op, _)| op.clone())
+                    .expect("ticket is below the total weight");
+                let request = Request::new(id, op, arrival);
+                if self.mean_interarrival > 0 {
+                    arrival += rng.gen_range(0..=2 * self.mean_interarrival);
+                }
+                request
+            })
+            .collect()
+    }
+
+    /// Draws a deterministic **burst** trace: the same operation mix, but
+    /// every request arrives at cycle 0 (a closed workload). Burst traces
+    /// make batch formation independent of the instance count, which is
+    /// what the throughput-monotonicity property is pinned on.
+    pub fn burst(&self, seed: u64, n: usize) -> Vec<Request> {
+        TrafficProfile {
+            mix: self.mix.clone(),
+            mean_interarrival: 0,
+        }
+        .generate(seed, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_group_scalar_multiplications_and_split_sizes() {
+        let sign = Operation::Sign {
+            curve: "p256".into(),
+        };
+        let ecdh = Operation::KeyAgreement {
+            curve: "p256".into(),
+        };
+        let other = Operation::KeyAgreement {
+            curve: "secp256k1".into(),
+        };
+        assert_eq!(sign.work_class(), ecdh.work_class());
+        assert_ne!(sign.work_class(), other.work_class());
+        assert_ne!(
+            Operation::RsaDecrypt { bits: 1024 }.work_class(),
+            Operation::RsaDecrypt { bits: 2048 }.work_class()
+        );
+        assert_eq!(
+            Operation::TorusExp { bits: 170 }.work_class().to_string(),
+            "torus/170"
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_ordered() {
+        let profile = TrafficProfile::mixed_date2008();
+        let a = profile.generate(42, 250);
+        let b = profile.generate(42, 250);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.windows(2).all(|w| w[0].id + 1 == w[1].id));
+        // A different seed reshuffles the mix.
+        assert_ne!(a, profile.generate(43, 250));
+    }
+
+    #[test]
+    fn every_mix_entry_is_drawn() {
+        let profile = TrafficProfile::mixed_date2008();
+        let trace = profile.generate(1, 400);
+        for (op, _) in &profile.mix {
+            assert!(
+                trace.iter().any(|r| &r.op == op),
+                "{} never drawn in 400 requests",
+                op.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_arrive_at_cycle_zero() {
+        let profile = TrafficProfile::mixed_date2008();
+        let trace = profile.burst(9, 50);
+        assert!(trace.iter().all(|r| r.arrival == 0));
+        assert_eq!(trace.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_is_rejected() {
+        let profile = TrafficProfile {
+            mix: vec![],
+            mean_interarrival: 10,
+        };
+        profile.generate(0, 1);
+    }
+}

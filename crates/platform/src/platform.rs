@@ -43,10 +43,39 @@ impl Platform {
     /// Creates a platform with `num_cores` coprocessor cores under the given
     /// control hierarchy.
     pub fn new(cost: CostModel, num_cores: usize, hierarchy: Hierarchy) -> Self {
+        Platform::with_program_cache(cost, num_cores, hierarchy, ProgramCache::new())
+    }
+
+    /// Creates a platform that draws compiled programs from a
+    /// caller-supplied cache.
+    ///
+    /// [`Platform::clone`] already shares the cache between identical
+    /// instances; this constructor is for *fleets* — pools of instances
+    /// that may differ in hierarchy or core count but should still compile
+    /// each `(OpKind, bits, cost-model)` program exactly once between
+    /// them. The cache key includes the cost-model fingerprint, so
+    /// instances with different knobs never alias each other's programs.
+    ///
+    /// ```
+    /// use platform::{CostModel, Hierarchy, Platform, ProgramCache};
+    ///
+    /// let shared = ProgramCache::new();
+    /// let a = Platform::with_program_cache(CostModel::paper(), 4, Hierarchy::TypeB, shared.clone());
+    /// let b = Platform::with_program_cache(CostModel::paper(), 2, Hierarchy::TypeA, shared.clone());
+    /// a.fp6_multiplication_report(170);
+    /// b.fp6_multiplication_report(170); // same program: a hit, not a recompile
+    /// assert_eq!((shared.misses(), shared.hits()), (1, 1));
+    /// ```
+    pub fn with_program_cache(
+        cost: CostModel,
+        num_cores: usize,
+        hierarchy: Hierarchy,
+        programs: ProgramCache,
+    ) -> Self {
         Platform {
             coprocessor: Coprocessor::new(cost, num_cores),
             engine: SequenceEngine::new(hierarchy),
-            programs: ProgramCache::new(),
+            programs,
         }
     }
 
@@ -102,6 +131,32 @@ impl Platform {
         );
         self.engine
             .run(&self.coprocessor, modulus, slots, program.ops())
+    }
+
+    /// Executes a compiled program once per slot bank — the batched form
+    /// of [`Platform::execute`] that the throughput engine's batch
+    /// dispatch goes through.
+    ///
+    /// The program is compiled (and fetched from the cache) exactly once
+    /// by the caller; every bank then pays only the execution cost, which
+    /// is what makes same-`(OpKind, bits)` batch formation worthwhile.
+    /// Each bank is executed independently and in order, so the returned
+    /// reports — and the slot states left behind — are identical to `n`
+    /// serial [`Platform::execute`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bank is smaller than the program's slot budget.
+    pub fn execute_batch(
+        &self,
+        program: &CompiledProgram,
+        modulus: &BigUint,
+        banks: &mut [Vec<BigUint>],
+    ) -> Vec<ExecutionReport> {
+        banks
+            .iter_mut()
+            .map(|bank| self.execute(program, modulus, bank))
+            .collect()
     }
 
     /// Cycles of one MicroBlaze register access + interrupt (Table 1 row 1).
@@ -235,6 +290,26 @@ impl Platform {
                 .from_biguint(&self.leave_domain(&slots[12 + i], &modulus))
         });
         (fp6.from_coeffs(coeffs), report)
+    }
+
+    /// Executes a batch of `Fp6` multiplications against **one** compile
+    /// of the `Fp6Mul` program.
+    ///
+    /// This is the driver the throughput engine's batch dispatch uses for
+    /// torus traffic: the program is fetched from the cache once (a single
+    /// miss-or-hit), then every pair pays only marshalling + execution.
+    /// Results and per-pair reports are identical to calling
+    /// [`Platform::run_fp6_multiplication`] once per pair.
+    pub fn run_fp6_multiplication_batch(
+        &self,
+        fp6: &Fp6Context,
+        pairs: &[(Fp6Element, Fp6Element)],
+    ) -> Vec<(Fp6Element, ExecutionReport)> {
+        let program = self.compiled(OpKind::Fp6Mul, fp6.fp().modulus().bit_len());
+        pairs
+            .iter()
+            .map(|(a, b)| self.execute_fp6_multiplication(&program, fp6, a, b))
+            .collect()
     }
 
     /// Cycle accounting of one `Fp6` multiplication at `bits` operand length
@@ -461,10 +536,43 @@ impl Platform {
         point: &AffinePoint,
         k: &BigUint,
     ) -> (AffinePoint, ExecutionReport) {
-        assert!(
-            !point.is_infinity(),
-            "the platform PA/PD sequences need a finite base point"
-        );
+        let (pd_program, pa_program, mixed) = self.ladder_programs(curve);
+        self.scalar_multiplication_with_programs(curve, point, k, &pd_program, &pa_program, mixed)
+    }
+
+    /// Executes a batch of scalar multiplications over the same curve
+    /// against **one** fetch of the ladder's PD and PA programs.
+    ///
+    /// This is the driver the throughput engine's batch dispatch uses for
+    /// signing/ECDH traffic: both programs are fetched from the cache
+    /// once, then every `(point, scalar)` request pays only the ladder.
+    /// Results and per-request reports are identical to calling
+    /// [`Platform::ecc_scalar_multiplication`] once per request.
+    pub fn ecc_scalar_multiplication_batch(
+        &self,
+        curve: &Curve,
+        requests: &[(AffinePoint, BigUint)],
+    ) -> Vec<(AffinePoint, ExecutionReport)> {
+        let (pd_program, pa_program, mixed) = self.ladder_programs(curve);
+        requests
+            .iter()
+            .map(|(point, k)| {
+                self.scalar_multiplication_with_programs(
+                    curve,
+                    point,
+                    k,
+                    &pd_program,
+                    &pa_program,
+                    mixed,
+                )
+            })
+            .collect()
+    }
+
+    /// Fetches (compiling at most once) the doubling and addition
+    /// programs the scalar ladder will run on `curve` under the current
+    /// cost-model knobs, plus whether the addition is the mixed sequence.
+    fn ladder_programs(&self, curve: &Curve) -> (Arc<CompiledProgram>, Arc<CompiledProgram>, bool) {
         let mixed = self.cost().uses_mixed_pa();
         let fast_pd = self.cost().uses_fast_pd() && curve.a_is_minus_three();
         let bits = curve.fp().modulus().bit_len();
@@ -484,12 +592,31 @@ impl Platform {
             },
             bits,
         );
+        (pd_program, pa_program, mixed)
+    }
+
+    /// The double-and-add ladder body against already-fetched programs —
+    /// shared by the single-call and batched scalar-multiplication
+    /// drivers, bit-identical between them.
+    fn scalar_multiplication_with_programs(
+        &self,
+        curve: &Curve,
+        point: &AffinePoint,
+        k: &BigUint,
+        pd_program: &CompiledProgram,
+        pa_program: &CompiledProgram,
+        mixed: bool,
+    ) -> (AffinePoint, ExecutionReport) {
+        assert!(
+            !point.is_infinity(),
+            "the platform PA/PD sequences need a finite base point"
+        );
         let mut report = ExecutionReport::default();
         let jp = curve.to_jacobian(point);
         let mut acc: Option<JacobianPoint> = None;
         for i in (0..k.bit_len()).rev() {
             if let Some(cur) = acc.take() {
-                let (doubled, r) = self.execute_ecc_point_doubling(&pd_program, curve, &cur);
+                let (doubled, r) = self.execute_ecc_point_doubling(pd_program, curve, &cur);
                 report = report.merge(&r);
                 acc = Some(doubled);
             }
@@ -498,9 +625,9 @@ impl Platform {
                     None => jp.clone(),
                     Some(cur) => {
                         let (sum, r) = if mixed {
-                            self.execute_ecc_point_addition_mixed(&pa_program, curve, &cur, point)
+                            self.execute_ecc_point_addition_mixed(pa_program, curve, &cur, point)
                         } else {
-                            self.execute_ecc_point_addition(&pa_program, curve, &cur, &jp)
+                            self.execute_ecc_point_addition(pa_program, curve, &cur, &jp)
                         };
                         report = report.merge(&r);
                         sum
@@ -720,6 +847,79 @@ mod tests {
         let clone = plat.clone();
         clone.ecc_scalar_multiplication(&curve, &p, &k);
         assert_eq!(plat.program_cache().misses(), 2);
+    }
+
+    #[test]
+    fn fp6_batch_matches_serial_and_compiles_once() {
+        let params = CeilidhParams::toy().unwrap();
+        let fp6 = params.fp6();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(211);
+        let pairs: Vec<_> = (0..4)
+            .map(|_| (fp6.random(&mut rng), fp6.random(&mut rng)))
+            .collect();
+
+        let serial_plat = platform(Hierarchy::TypeB);
+        let serial: Vec<_> = pairs
+            .iter()
+            .map(|(a, b)| serial_plat.run_fp6_multiplication(fp6, a, b))
+            .collect();
+
+        let batch_plat = platform(Hierarchy::TypeB);
+        let batched = batch_plat.run_fp6_multiplication_batch(fp6, &pairs);
+
+        assert_eq!(batched, serial);
+        // The batch fetches the program exactly once.
+        assert_eq!(batch_plat.program_cache().misses(), 1);
+        assert_eq!(batch_plat.program_cache().hits(), 0);
+    }
+
+    #[test]
+    fn scalar_mult_batch_matches_serial_and_fetches_programs_once() {
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(212);
+        let requests: Vec<_> = (0..3)
+            .map(|i| {
+                (
+                    curve.random_point(&mut rng),
+                    BigUint::from(0x1234_5678u64 + i),
+                )
+            })
+            .collect();
+
+        let serial_plat = platform(Hierarchy::TypeB);
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|(p, k)| serial_plat.ecc_scalar_multiplication(&curve, p, k))
+            .collect();
+
+        let batch_plat = platform(Hierarchy::TypeB);
+        let batched = batch_plat.ecc_scalar_multiplication_batch(&curve, &requests);
+
+        assert_eq!(batched, serial);
+        // One PD + one PA fetch for the whole batch: two misses, no hits.
+        assert_eq!(batch_plat.program_cache().misses(), 2);
+        assert_eq!(batch_plat.program_cache().hits(), 0);
+    }
+
+    #[test]
+    fn execute_batch_matches_serial_execute() {
+        let plat = platform(Hierarchy::TypeB);
+        let program = plat.compiled(OpKind::Fp6Mul, 170);
+        let modulus = probe_modulus(170);
+        let bank = |seed: u64| -> Vec<BigUint> {
+            (0..program.slot_budget())
+                .map(|i| BigUint::from((seed + i as u64) % 251 + 1))
+                .collect()
+        };
+        let mut serial_banks = [bank(3), bank(17), bank(99)];
+        let serial: Vec<_> = serial_banks
+            .iter_mut()
+            .map(|b| plat.execute(&program, &modulus, b))
+            .collect();
+        let mut batch_banks = [bank(3), bank(17), bank(99)];
+        let batched = plat.execute_batch(&program, &modulus, &mut batch_banks);
+        assert_eq!(batched, serial);
+        assert_eq!(batch_banks, serial_banks);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub use bignum;
 pub use ceilidh;
 pub use ecc;
+pub use engine;
 pub use field;
 pub use platform;
 pub use rsa_torus;
@@ -26,6 +27,7 @@ pub mod prelude {
     pub use bignum::{BigUint, MontgomeryParams};
     pub use ceilidh::{compress, decompress, shared_secret, CeilidhParams, KeyPair, TorusElement};
     pub use ecc::prelude::*;
+    pub use engine::{Fleet, FleetConfig, TrafficProfile};
     pub use field::{Fp6Context, FpContext};
     pub use platform::{CostModel, Hierarchy, Platform};
     pub use rsa_torus::RsaKeyPair;

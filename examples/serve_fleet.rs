@@ -1,0 +1,93 @@
+//! Serve a mixed RSA/ECC/torus traffic profile on fleets of 1–8
+//! coprocessor instances and print the throughput scaling table — the
+//! paper's Fig. 5 "cores per Montgomery multiplication" story extended
+//! to "requests per second per instance count".
+//!
+//! Run with `cargo run -p suite --release --example serve_fleet`.
+//!
+//! Set `ENGINE_REPORT_JSON=path.json` to additionally write the sweep as
+//! a flat JSON object (the engine section CI uploads as an artifact).
+
+use std::fmt::Write as _;
+
+use engine::prelude::*;
+use platform::CostModel;
+
+/// Requests per trace: enough to fill every fleet past its warm-up.
+const REQUESTS: usize = 200;
+/// Trace seed (fixed: the sweep compares fleets, not traces).
+const SEED: u64 = 2008;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = TrafficProfile::mixed_date2008();
+    println!("== traffic profile (seed {SEED}, {REQUESTS} requests) ==");
+    let total: u64 = profile.mix.iter().map(|(_, w)| w).sum();
+    for (op, weight) in &profile.mix {
+        println!("  {:<16} weight {weight}/{total}", op.label(),);
+    }
+    println!(
+        "  mean inter-arrival {} cycles (uniform integer gaps)\n",
+        profile.mean_interarrival
+    );
+
+    let trace = profile.generate(SEED, REQUESTS);
+    let cost = CostModel::paper();
+    let mut json = String::from("{\n");
+    println!("== fleet sweep (4-core Type-B instances, 74 MHz) ==");
+    println!(
+        "{:>9} {:>9} {:>10} {:>10} {:>6} {:>8} {:>7} {:>5}",
+        "instances", "ops/sec", "p50 ms", "p99 ms", "util", "batches", "depth", "hit%"
+    );
+    for (i, instances) in [1usize, 2, 4, 8].iter().enumerate() {
+        let mut fleet = Fleet::new(FleetConfig::date2008(*instances));
+        let summary = fleet.run(trace.clone());
+        assert_eq!(summary.completed, REQUESTS as u64);
+        println!(
+            "{:>9} {:>9} {:>10.3} {:>10.3} {:>5}% {:>8} {:>7} {:>4}%",
+            instances,
+            summary.ops_per_sec,
+            cost.cycles_to_ms(summary.p50_latency_cycles),
+            cost.cycles_to_ms(summary.p99_latency_cycles),
+            summary.utilization_pct(),
+            summary.batches(),
+            summary.peak_queue_depth,
+            summary.cache_hit_rate_pct(),
+        );
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        write!(
+            json,
+            "  \"engine_ops_per_sec_x{instances}\": {},\n  \
+             \"engine_p50_latency_cycles_x{instances}\": {},\n  \
+             \"engine_p99_latency_cycles_x{instances}\": {},\n  \
+             \"engine_cache_hit_rate_pct_x{instances}\": {}",
+            summary.ops_per_sec,
+            summary.p50_latency_cycles,
+            summary.p99_latency_cycles,
+            summary.cache_hit_rate_pct(),
+        )?;
+    }
+    json.push_str("\n}\n");
+
+    println!("\nbatch sizes on the 4-instance run:");
+    let mut fleet = Fleet::new(FleetConfig::date2008(4));
+    let summary = fleet.run(trace);
+    for (size, count) in &summary.batch_size_histogram {
+        println!("  {size:>2} requests x {count} batches");
+    }
+    println!(
+        "  mean batch size {:.2}, cache {}/{} hits/misses",
+        summary.mean_batch_size_x100() as f64 / 100.0,
+        summary.cache_hits,
+        summary.cache_misses,
+    );
+
+    if let Ok(path) = std::env::var("ENGINE_REPORT_JSON") {
+        if !path.is_empty() {
+            std::fs::write(&path, &json)?;
+            println!("\nwrote engine report to {path}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the throughput engine and the platform's
+//! batched execution path:
+//!
+//! * **batching is invisible** — the platform's batch drivers
+//!   (`run_fp6_multiplication_batch`, `ecc_scalar_multiplication_batch`,
+//!   `execute_batch`) return results *and per-request cycle reports*
+//!   identical to serial calls, for every batch size and seed;
+//! * **scaling never hurts** — on closed (burst) workloads, fleet
+//!   throughput is monotone non-decreasing in the instance count;
+//! * **percentiles are ordered** — p50 ≤ p99 ≤ max on every run, and the
+//!   nearest-rank estimator is monotone and bounded by the sample.
+
+use bignum::BigUint;
+use ceilidh::CeilidhParams;
+use ecc::Curve;
+use engine::prelude::*;
+use platform::{CostModel, Hierarchy, OpKind, Platform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn platform() -> Platform {
+    Platform::new(CostModel::paper(), 4, Hierarchy::TypeB)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched `Fp6` multiplication is result- and report-identical to
+    /// serial execution, and fetches its program exactly once.
+    #[test]
+    fn fp6_batch_is_identical_to_serial(seed in 0u64..1000, len in 1usize..7) {
+        let params = CeilidhParams::toy().unwrap();
+        let fp6 = params.fp6();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<_> = (0..len)
+            .map(|_| (fp6.random(&mut rng), fp6.random(&mut rng)))
+            .collect();
+        let serial_plat = platform();
+        let serial: Vec<_> = pairs
+            .iter()
+            .map(|(a, b)| serial_plat.run_fp6_multiplication(fp6, a, b))
+            .collect();
+        let batch_plat = platform();
+        let batched = batch_plat.run_fp6_multiplication_batch(fp6, &pairs);
+        prop_assert_eq!(&batched, &serial);
+        prop_assert_eq!(batch_plat.program_cache().misses(), 1);
+        prop_assert_eq!(batch_plat.program_cache().hits(), 0);
+    }
+
+    /// Batched scalar multiplication is result- and report-identical to
+    /// serial execution, and fetches its two ladder programs exactly once
+    /// for the whole batch.
+    #[test]
+    fn scalar_mult_batch_is_identical_to_serial(seed in 0u64..1000, len in 1usize..5) {
+        let curve = Curve::p160_reproduction().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests: Vec<_> = (0..len)
+            .map(|_| {
+                let point = curve.random_point(&mut rng);
+                let k = &BigUint::random_bits(&mut rng, 24) + &BigUint::one();
+                (point, k)
+            })
+            .collect();
+        let serial_plat = platform();
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|(p, k)| serial_plat.ecc_scalar_multiplication(&curve, p, k))
+            .collect();
+        let batch_plat = platform();
+        let batched = batch_plat.ecc_scalar_multiplication_batch(&curve, &requests);
+        prop_assert_eq!(&batched, &serial);
+        prop_assert_eq!(batch_plat.program_cache().misses(), 2);
+        prop_assert_eq!(batch_plat.program_cache().hits(), 0);
+    }
+
+    /// The raw slot-bank batch executor leaves results and reports
+    /// identical to serial `execute` calls over the same banks.
+    #[test]
+    fn execute_batch_is_identical_to_serial(seed in 1u64..500, banks in 1usize..5) {
+        let plat = platform();
+        let program = plat.compiled(OpKind::Fp6Mul, 170);
+        // Odd (Montgomery-compatible) 170-bit probe modulus.
+        let modulus = BigUint::one().shl_bits(169) + BigUint::from(seed * 2 + 13);
+        let bank = |salt: u64| -> Vec<BigUint> {
+            (0..program.slot_budget())
+                .map(|i| BigUint::from((seed * 31 + salt * 7 + i as u64) % 251 + 1))
+                .collect()
+        };
+        let mut serial_banks: Vec<Vec<BigUint>> = (0..banks as u64).map(bank).collect();
+        let serial: Vec<_> = serial_banks
+            .iter_mut()
+            .map(|b| plat.execute(&program, &modulus, b))
+            .collect();
+        let mut batch_banks: Vec<Vec<BigUint>> = (0..banks as u64).map(bank).collect();
+        let batched = plat.execute_batch(&program, &modulus, &mut batch_banks);
+        prop_assert_eq!(batched, serial);
+        prop_assert_eq!(batch_banks, serial_banks);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On a closed (burst) workload, adding instances never lowers
+    /// throughput: batch formation is instance-count-invariant when every
+    /// request is already queued, so the dispatch sequence list-schedules
+    /// onto more machines without anomalies.
+    #[test]
+    fn burst_throughput_is_monotone_in_instance_count(seed in 0u64..200, n in 8usize..48) {
+        let trace = TrafficProfile::mixed_date2008().burst(seed, n);
+        let mut last = 0u64;
+        for instances in 1usize..=4 {
+            let summary = Fleet::new(FleetConfig::date2008(instances)).run(trace.clone());
+            prop_assert_eq!(summary.completed, n as u64);
+            prop_assert!(
+                summary.ops_per_sec >= last,
+                "seed {}, n {}: {} instances dropped to {} ops/s (from {})",
+                seed, n, instances, summary.ops_per_sec, last
+            );
+            last = summary.ops_per_sec;
+        }
+    }
+
+    /// Every run's latency percentiles are ordered p50 ≤ p99 ≤ max, on
+    /// open (arrival-process) traffic across fleet sizes.
+    #[test]
+    fn percentiles_are_ordered_on_open_traffic(seed in 0u64..200, instances in 1usize..5) {
+        let trace = TrafficProfile::mixed_date2008().generate(seed, 30);
+        let summary = Fleet::new(FleetConfig::date2008(instances)).run(trace);
+        prop_assert_eq!(summary.completed, 30);
+        prop_assert!(summary.p50_latency_cycles <= summary.p99_latency_cycles);
+        prop_assert!(summary.p99_latency_cycles <= summary.max_latency_cycles);
+        prop_assert!(summary.p50_latency_cycles > 0);
+    }
+
+    /// The nearest-rank estimator is monotone in rank and always returns
+    /// an observed sample between min and max.
+    #[test]
+    fn percentile_estimator_is_monotone_and_bounded(seed in 0u64..500, n in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sample: Vec<u64> = (0..n)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0u64..10_000))
+            .collect();
+        sample.sort_unstable();
+        let mut prev = 0u64;
+        for pct in 1..=100 {
+            let v = percentile(&sample, pct);
+            prop_assert!(v >= prev);
+            prop_assert!(sample.contains(&v));
+            prev = v;
+        }
+        prop_assert_eq!(percentile(&sample, 100), *sample.last().unwrap());
+    }
+}
