@@ -1,0 +1,163 @@
+//! Host-backend bench: the const-generic fixed-limb backend
+//! (`bignum::fixed`, 4 × 64-bit limbs on the stack) against the heap
+//! `BigUint` backend (8 × 32-bit limbs in a `Vec`) on the two operations
+//! the 256-bit curves live in — Montgomery multiplication and a full
+//! scalar-multiplication ladder.
+//!
+//! Besides the usual Criterion timings, under `cargo bench` with
+//! `BENCH_REPORT_JSON=<path>` set the harness re-times both backends with
+//! a plain `Instant` loop and merges the speedup ratios (×100, as flat
+//! integer keys) into that report file, so CI archives the measured
+//! fixed-over-heap factor alongside the cycle metrics.
+
+use bignum::fixed::Uint;
+use bignum::{BigUint, MontgomeryParams};
+use criterion::{black_box, criterion_group, Criterion};
+use ecc::prelude::*;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Everything both backends need, built once: the secp256k1 curve, its
+/// heap Montgomery parameters, the shared-radix fixed context, and one
+/// reduced operand pair in both representations.
+struct Fixture {
+    curve: Curve,
+    heap: MontgomeryParams,
+    a_big: BigUint,
+    b_big: BigUint,
+    a_fix: Uint<4>,
+    b_fix: Uint<4>,
+    k: BigUint,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        let curve = Curve::from_parameters::<Secp256k1>().expect("registered curve");
+        let p = curve.fp().modulus().clone();
+        let heap = MontgomeryParams::new(&p).expect("odd prime");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(256);
+        let a = &BigUint::random_bits(&mut rng, 256) % &p;
+        let b = &BigUint::random_bits(&mut rng, 256) % &p;
+        let ctx = curve.fp().fixed256().expect("256-bit field").clone();
+        let a_fix = ctx.to_mont(&Uint::from_biguint(&a).expect("reduced"));
+        let b_fix = ctx.to_mont(&Uint::from_biguint(&b).expect("reduced"));
+        let a_big = heap.to_mont(&a);
+        let b_big = heap.to_mont(&b);
+        let k = BigUint::random_bits(&mut rng, 256);
+        Fixture {
+            curve,
+            heap,
+            a_big,
+            b_big,
+            a_fix,
+            b_fix,
+            k,
+        }
+    }
+
+    fn ctx(&self) -> &bignum::fixed::MontgomeryContext<4> {
+        self.curve.fp().fixed256().expect("256-bit field")
+    }
+}
+
+fn bench_montmul(c: &mut Criterion) {
+    let f = Fixture::new();
+    let mut group = c.benchmark_group("fixed_vs_heap/montmul_256");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("heap", |b| {
+        b.iter(|| f.heap.mont_mul(black_box(&f.a_big), black_box(&f.b_big)))
+    });
+    group.bench_function("fixed", |b| {
+        b.iter(|| f.ctx().mont_mul(black_box(&f.a_fix), black_box(&f.b_fix)))
+    });
+    group.finish();
+}
+
+fn bench_scalar_mul(c: &mut Criterion) {
+    let f = Fixture::new();
+    let mut group = c.benchmark_group("fixed_vs_heap/scalar_mul_256");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            f.curve.scalar_mul_reference(
+                black_box(f.curve.base_point()),
+                black_box(&f.k),
+                ScalarMulAlgorithm::DoubleAndAdd,
+            )
+        })
+    });
+    group.bench_function("fixed", |b| {
+        b.iter(|| {
+            f.curve.scalar_mul(
+                black_box(f.curve.base_point()),
+                black_box(&f.k),
+                ScalarMulAlgorithm::DoubleAndAdd,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Mean seconds per call of `f`, from a single `Instant` window sized off
+/// a one-shot estimate (~100 ms of measurement).
+fn secs_per_iter<T, F: FnMut() -> T>(mut f: F) -> f64 {
+    let start = Instant::now();
+    black_box(f());
+    let est = start.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.1 / est) as u64).clamp(1, 1_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measures the fixed-over-heap speedups and merges them (×100, rounded)
+/// into the flat JSON report at `path`, preserving any keys already there.
+fn emit_speedup_report(path: &str) {
+    let f = Fixture::new();
+    let montmul = secs_per_iter(|| f.heap.mont_mul(&f.a_big, &f.b_big))
+        / secs_per_iter(|| f.ctx().mont_mul(&f.a_fix, &f.b_fix));
+    let ladder = secs_per_iter(|| {
+        f.curve
+            .scalar_mul_reference(f.curve.base_point(), &f.k, ScalarMulAlgorithm::DoubleAndAdd)
+    }) / secs_per_iter(|| {
+        f.curve
+            .scalar_mul(f.curve.base_point(), &f.k, ScalarMulAlgorithm::DoubleAndAdd)
+    });
+    println!("fixed-over-heap speedup: montmul_256 {montmul:.2}x, scalar_mul_256 {ladder:.2}x");
+
+    let mut pairs = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| bench::json::parse_object(&text).ok())
+        .unwrap_or_default();
+    pairs.retain(|(k, _)| !k.starts_with("fixed_vs_heap_"));
+    pairs.push((
+        "fixed_vs_heap_montmul_256_speedup_x100".to_string(),
+        (montmul * 100.0).round() as u64,
+    ));
+    pairs.push((
+        "fixed_vs_heap_scalar_mul_256_speedup_x100".to_string(),
+        (ladder * 100.0).round() as u64,
+    ));
+    std::fs::write(path, bench::json::write_object(&pairs)).expect("write BENCH_REPORT_JSON");
+}
+
+criterion_group!(benches, bench_montmul, bench_scalar_mul);
+
+fn main() {
+    benches();
+    // Speedup ratios only under a real `cargo bench` run (the harness
+    // passes --bench; `cargo test --benches` passes --test) with a report
+    // path to merge into.
+    let bench_mode = std::env::args().skip(1).any(|arg| arg == "--bench");
+    if bench_mode {
+        if let Ok(path) = std::env::var("BENCH_REPORT_JSON") {
+            emit_speedup_report(&path);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Stack-allocated fixed-width integers: the const-generic fast backend.
+//!
+//! [`BigUint`](crate::BigUint) keeps its limbs in a `Vec<u32>`, which makes
+//! every ladder step on the host allocate. When the operand width is known
+//! statically — the 256-bit named curves, fixed RSA moduli — the arithmetic
+//! can instead run on a `[u64; LIMBS]` stack array with `u128`
+//! carry/widening primitives and no heap traffic at all:
+//!
+//! - [`Uint`]: the `Copy` const-generic integer with explicit
+//!   carry/borrow/widening arithmetic and `BigUint` conversions.
+//! - [`MontgomeryContext`]: CIOS Montgomery multiplication, exponentiation
+//!   and Fermat inversion with zero allocation past setup, mirroring
+//!   [`MontgomeryParams`](crate::MontgomeryParams). At matching radix
+//!   (`num_limbs() == 2·LIMBS`, e.g. 256-bit moduli at `LIMBS = 4`) the two
+//!   backends share `R`, making Montgomery forms interchangeable and
+//!   results bit-identical.
+//! - Free modular helpers ([`add_mod`], [`sub_mod`], [`neg_mod`],
+//!   [`mul_mod`], [`reduce_wide`]) for reduced fixed-width residues.
+//!
+//! Higher layers do not construct these directly: `field::Fp` selects the
+//! fixed path for 256-bit primes behind its existing API, and `ecc` runs
+//! the named 256-bit curve ladders on it. The differential proptest suite
+//! (`tests/fixed_uint_properties.rs`) pins every operation here to the heap
+//! backend bit for bit.
+
+mod modular;
+mod montgomery;
+mod uint;
+
+pub use modular::{add_mod, mul_mod, neg_mod, reduce_wide, sub_mod};
+pub use montgomery::MontgomeryContext;
+pub use uint::{Uint, FIXED_LIMB_BITS};
+
+// The u64 carry/borrow/widening primitives, re-exported for differential
+// test harnesses; higher layers use the typed `Uint` operations instead.
+pub use crate::limb::{borrowing_sub64, carrying_add64, mac64, widening_mul64};

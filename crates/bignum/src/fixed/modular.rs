@@ -1,0 +1,162 @@
+//! Allocation-free modular arithmetic on [`Uint`] operands.
+//!
+//! The fixed-width counterpart of [`crate::modular`]: free functions over a
+//! caller-supplied modulus. `add_mod`/`sub_mod`/`neg_mod` require reduced
+//! operands (`< m`) and exploit that a single conditional correction then
+//! suffices; `reduce_wide` and `mul_mod` accept arbitrary operands.
+
+use super::uint::Uint;
+
+/// `(a + b) mod m` for reduced operands `a, b < m`.
+///
+/// # Panics
+///
+/// Debug-asserts that the operands are reduced.
+pub fn add_mod<const LIMBS: usize>(
+    a: &Uint<LIMBS>,
+    b: &Uint<LIMBS>,
+    m: &Uint<LIMBS>,
+) -> Uint<LIMBS> {
+    debug_assert!(a < m && b < m, "operands must be reduced");
+    let (sum, carry) = a.carrying_add(b, 0);
+    // a + b < 2m, so one subtraction reduces; with carry set the true value
+    // is 2^BITS + sum and the wrapping subtraction is exact mod 2^BITS.
+    if carry != 0 || sum >= *m {
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// `(a - b) mod m` for reduced operands `a, b < m`.
+///
+/// # Panics
+///
+/// Debug-asserts that the operands are reduced.
+pub fn sub_mod<const LIMBS: usize>(
+    a: &Uint<LIMBS>,
+    b: &Uint<LIMBS>,
+    m: &Uint<LIMBS>,
+) -> Uint<LIMBS> {
+    debug_assert!(a < m && b < m, "operands must be reduced");
+    let (diff, borrow) = a.borrowing_sub(b, 0);
+    if borrow != 0 {
+        diff.wrapping_add(m)
+    } else {
+        diff
+    }
+}
+
+/// `(-a) mod m` for a reduced operand `a < m`.
+///
+/// # Panics
+///
+/// Debug-asserts that the operand is reduced.
+pub fn neg_mod<const LIMBS: usize>(a: &Uint<LIMBS>, m: &Uint<LIMBS>) -> Uint<LIMBS> {
+    debug_assert!(a < m, "operand must be reduced");
+    if a.is_zero() {
+        Uint::ZERO
+    } else {
+        m.wrapping_sub(a)
+    }
+}
+
+/// Reduces the `2·BITS`-bit value `hi·2^BITS + lo` modulo `m` by binary
+/// shift-and-subtract. No heap allocation; `O(BITS)` conditional
+/// subtractions, intended for conversions and test harnesses rather than
+/// hot loops (hot loops use Montgomery form).
+///
+/// # Panics
+///
+/// Panics when `m` is zero.
+pub fn reduce_wide<const LIMBS: usize>(
+    lo: &Uint<LIMBS>,
+    hi: &Uint<LIMBS>,
+    m: &Uint<LIMBS>,
+) -> Uint<LIMBS> {
+    assert!(!m.is_zero(), "reduction modulus must be non-zero");
+    let mut r = Uint::ZERO;
+    for word in [hi, lo] {
+        for i in (0..Uint::<LIMBS>::BITS).rev() {
+            // r < m before the shift, so 2r + bit < 2m: one conditional
+            // subtraction restores r < m. When the shift carries out, the
+            // true value is 2^BITS + shifted >= m and the wrapping
+            // subtraction is exact.
+            let (mut shifted, carry) = r.shl1();
+            if word.bit(i) {
+                shifted.limbs[0] |= 1;
+            }
+            r = if carry != 0 || shifted >= *m {
+                shifted.wrapping_sub(m)
+            } else {
+                shifted
+            };
+        }
+    }
+    r
+}
+
+/// `(a * b) mod m` via [`Uint::mul_wide`] and [`reduce_wide`]. Accepts
+/// unreduced operands.
+///
+/// # Panics
+///
+/// Panics when `m` is zero.
+pub fn mul_mod<const LIMBS: usize>(
+    a: &Uint<LIMBS>,
+    b: &Uint<LIMBS>,
+    m: &Uint<LIMBS>,
+) -> Uint<LIMBS> {
+    let (lo, hi) = a.mul_wide(b);
+    reduce_wide(&lo, &hi, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_neg_mod_small() {
+        let m = Uint::<4>::from_u64(97);
+        let a = Uint::from_u64(90);
+        let b = Uint::from_u64(15);
+        assert_eq!(add_mod(&a, &b, &m), Uint::from_u64(8));
+        assert_eq!(sub_mod(&b, &a, &m), Uint::from_u64(22));
+        assert_eq!(neg_mod(&a, &m), Uint::from_u64(7));
+        assert_eq!(neg_mod(&Uint::ZERO, &m), Uint::ZERO);
+    }
+
+    #[test]
+    fn add_mod_handles_carry_out() {
+        // m close to 2^256: a + b overflows the width but stays < 2m.
+        let m = Uint::<4>::MAX;
+        let a = m.wrapping_sub(&Uint::from_u64(1)); // m - 1
+        let sum = add_mod(&a, &a, &m);
+        // (m-1) + (m-1) = 2m - 2 ≡ m - 2 (mod m)
+        assert_eq!(sum, m.wrapping_sub(&Uint::from_u64(2)));
+    }
+
+    #[test]
+    fn reduce_wide_handles_equal_and_large_operands() {
+        let m = Uint::<4>::from_u64(1_000_003);
+        // Value equal to the modulus reduces to zero.
+        assert_eq!(reduce_wide(&m, &Uint::ZERO, &m), Uint::ZERO);
+        // A full double-width value matches the heap computation.
+        let a = Uint::<4>::MAX;
+        let (lo, hi) = a.mul_wide(&a);
+        let expected = {
+            let big = a.to_biguint();
+            (&big * &big) % &m.to_biguint()
+        };
+        assert_eq!(reduce_wide(&lo, &hi, &m).to_biguint(), expected);
+    }
+
+    #[test]
+    fn mul_mod_matches_heap() {
+        let m = Uint::<4>::from_limbs([0xfffffffefffffc2f, u64::MAX, u64::MAX, u64::MAX]);
+        let a = Uint::<4>::from_limbs([1, 2, 3, 4]);
+        let b = Uint::<4>::from_limbs([5, 6, 7, 8]);
+        let expected = (&a.to_biguint() * &b.to_biguint()) % &m.to_biguint();
+        assert_eq!(mul_mod(&a, &b, &m).to_biguint(), expected);
+    }
+}

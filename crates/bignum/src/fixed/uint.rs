@@ -1,0 +1,332 @@
+//! The stack-allocated const-generic unsigned integer.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use crate::limb::{borrowing_sub64, carrying_add64, mac64};
+use crate::{BigUint, LIMB_BITS};
+
+/// Number of bits in one fixed-backend limb (radix 2^64).
+pub const FIXED_LIMB_BITS: usize = 64;
+
+/// A fixed-width unsigned integer of `LIMBS` 64-bit limbs, stored
+/// least-significant limb first in a stack array.
+///
+/// This is the const-generic counterpart of the heap-allocated
+/// [`BigUint`]: the width is part of the type, the representation is
+/// `Copy`, and none of the arithmetic allocates. Unlike `BigUint` the
+/// representation is *not* normalized — high limbs may be zero — so
+/// equality on the array is still value equality (every value has exactly
+/// one representation at a given width).
+///
+/// Arithmetic comes in explicit flavours (`carrying_add`,
+/// `borrowing_sub`, `wrapping_*`, [`Uint::mul_wide`]) mirroring the
+/// limb-level primitives; modular and Montgomery arithmetic live in
+/// [`crate::fixed`]'s free functions and
+/// [`MontgomeryContext`](crate::fixed::MontgomeryContext).
+///
+/// # Example
+///
+/// ```
+/// use bignum::fixed::Uint;
+///
+/// let a = Uint::<4>::from_u64(7);
+/// let b = Uint::<4>::from_u64(9);
+/// let (sum, carry) = a.carrying_add(&b, 0);
+/// assert_eq!(sum, Uint::from_u64(16));
+/// assert_eq!(carry, 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uint<const LIMBS: usize> {
+    /// Least-significant limb first.
+    pub(crate) limbs: [u64; LIMBS],
+}
+
+impl<const LIMBS: usize> Uint<LIMBS> {
+    /// The value 0.
+    pub const ZERO: Self = Self { limbs: [0; LIMBS] };
+
+    /// The largest representable value, `2^(64·LIMBS) - 1`.
+    pub const MAX: Self = Self {
+        limbs: [u64::MAX; LIMBS],
+    };
+
+    /// Total number of bits in the representation.
+    pub const BITS: usize = LIMBS * FIXED_LIMB_BITS;
+
+    /// Builds a value from its limbs, least-significant first.
+    pub const fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        Self { limbs }
+    }
+
+    /// Builds the value of a single `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `LIMBS` is 0 and `v` is non-zero.
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; LIMBS];
+        if LIMBS == 0 {
+            assert!(v == 0, "u64 value does not fit in 0 limbs");
+        } else {
+            limbs[0] = v;
+        }
+        Self { limbs }
+    }
+
+    /// The limbs, least-significant first.
+    pub const fn limbs(&self) -> &[u64; LIMBS] {
+        &self.limbs
+    }
+
+    /// Whether the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Whether the value is odd (false for the 0-limb width).
+    pub fn is_odd(&self) -> bool {
+        LIMBS > 0 && self.limbs[0] & 1 == 1
+    }
+
+    /// Bit `i` (little-endian, bit 0 is the least significant); out-of-range
+    /// bits read as 0.
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / FIXED_LIMB_BITS;
+        let off = i % FIXED_LIMB_BITS;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            if l != 0 {
+                return i * FIXED_LIMB_BITS + (FIXED_LIMB_BITS - l.leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Full add with carry: `(self + rhs + carry_in) mod 2^BITS` and the
+    /// carry out. `carry_in` must be 0 or 1.
+    pub fn carrying_add(&self, rhs: &Self, carry: u64) -> (Self, u64) {
+        let mut out = Self::ZERO;
+        let mut carry = carry;
+        for i in 0..LIMBS {
+            let (s, c) = carrying_add64(self.limbs[i], rhs.limbs[i], carry);
+            out.limbs[i] = s;
+            carry = c;
+        }
+        (out, carry)
+    }
+
+    /// `(self + rhs) mod 2^BITS`, discarding the carry.
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.carrying_add(rhs, 0).0
+    }
+
+    /// Full subtract with borrow: `(self - rhs - borrow_in) mod 2^BITS` and
+    /// the borrow out. `borrow_in` must be 0 or 1.
+    pub fn borrowing_sub(&self, rhs: &Self, borrow: u64) -> (Self, u64) {
+        let mut out = Self::ZERO;
+        let mut borrow = borrow;
+        for i in 0..LIMBS {
+            let (d, b) = borrowing_sub64(self.limbs[i], rhs.limbs[i], borrow);
+            out.limbs[i] = d;
+            borrow = b;
+        }
+        (out, borrow)
+    }
+
+    /// `(self - rhs) mod 2^BITS`, discarding the borrow.
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.borrowing_sub(rhs, 0).0
+    }
+
+    /// `self - rhs` when it does not underflow.
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        let (d, borrow) = self.borrowing_sub(rhs, 0);
+        (borrow == 0).then_some(d)
+    }
+
+    /// Schoolbook widening multiplication: the full `2·BITS`-bit product as
+    /// `(low, high)` halves. No heap allocation.
+    pub fn mul_wide(&self, rhs: &Self) -> (Self, Self) {
+        let mut lo = Self::ZERO;
+        let mut hi = Self::ZERO;
+        for i in 0..LIMBS {
+            let mut carry = 0u64;
+            for j in 0..LIMBS {
+                let k = i + j;
+                let acc = if k < LIMBS {
+                    &mut lo.limbs[k]
+                } else {
+                    &mut hi.limbs[k - LIMBS]
+                };
+                let (l, c) = mac64(*acc, self.limbs[i], rhs.limbs[j], carry);
+                *acc = l;
+                carry = c;
+            }
+            // Row i touches columns i..i+LIMBS-1; its final carry lands in
+            // the untouched column i+LIMBS.
+            if LIMBS > 0 {
+                hi.limbs[i] = carry;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// `(self << 1) mod 2^BITS` and the bit shifted out.
+    pub(crate) fn shl1(&self) -> (Self, u64) {
+        let mut out = Self::ZERO;
+        let mut carry = 0u64;
+        for i in 0..LIMBS {
+            out.limbs[i] = (self.limbs[i] << 1) | carry;
+            carry = self.limbs[i] >> 63;
+        }
+        (out, carry)
+    }
+
+    /// Converts from a [`BigUint`], returning `None` when the value does not
+    /// fit in `LIMBS` 64-bit limbs.
+    pub fn from_biguint(v: &BigUint) -> Option<Self> {
+        let src = v.limbs(); // u32 limbs, least-significant first, normalized
+        if src.len() > 2 * LIMBS {
+            return None;
+        }
+        let mut out = Self::ZERO;
+        for (i, &l) in src.iter().enumerate() {
+            out.limbs[i / 2] |= (l as u64) << (LIMB_BITS * (i % 2));
+        }
+        Some(out)
+    }
+
+    /// Converts to the heap representation.
+    pub fn to_biguint(&self) -> BigUint {
+        let mut limbs = Vec::with_capacity(2 * LIMBS);
+        for &l in &self.limbs {
+            limbs.push(l as u32);
+            limbs.push((l >> LIMB_BITS) as u32);
+        }
+        BigUint::from_limbs(&limbs)
+    }
+}
+
+impl<const LIMBS: usize> Default for Uint<LIMBS> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const LIMBS: usize> Ord for Uint<LIMBS> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..LIMBS).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const LIMBS: usize> PartialOrd for Uint<LIMBS> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const LIMBS: usize> fmt::Debug for Uint<LIMBS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uint<{LIMBS}>(0x")?;
+        for l in self.limbs.iter().rev() {
+            write!(f, "{l:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const LIMBS: usize> fmt::Display for Uint<LIMBS> {
+    /// Lowercase big-endian hex with leading zeros trimmed, matching
+    /// [`BigUint`]'s `to_hex` format.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::with_capacity(16 * LIMBS);
+        for l in self.limbs.iter().rev() {
+            use fmt::Write;
+            write!(s, "{l:016x}")?;
+        }
+        let trimmed = s.trim_start_matches('0');
+        f.write_str(if trimmed.is_empty() { "0" } else { trimmed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_predicates() {
+        assert!(Uint::<4>::ZERO.is_zero());
+        assert!(!Uint::<4>::ZERO.is_odd());
+        assert!(Uint::<4>::MAX.is_odd());
+        assert_eq!(Uint::<4>::BITS, 256);
+        assert_eq!(Uint::<4>::ZERO.bit_len(), 0);
+        assert_eq!(Uint::<4>::MAX.bit_len(), 256);
+        assert_eq!(Uint::<4>::from_u64(1).bit_len(), 1);
+    }
+
+    #[test]
+    fn add_sub_roundtrip_with_carries() {
+        let (sum, carry) = Uint::<4>::MAX.carrying_add(&Uint::from_u64(1), 0);
+        assert!(sum.is_zero());
+        assert_eq!(carry, 1);
+        let (diff, borrow) = Uint::<4>::ZERO.borrowing_sub(&Uint::from_u64(1), 0);
+        assert_eq!(diff, Uint::MAX);
+        assert_eq!(borrow, 1);
+        assert_eq!(Uint::<4>::ZERO.checked_sub(&Uint::from_u64(1)), None);
+    }
+
+    #[test]
+    fn mul_wide_max_is_exact() {
+        // MAX * MAX = 2^512 - 2^257 + 1 at 4 limbs.
+        let (lo, hi) = Uint::<4>::MAX.mul_wide(&Uint::MAX);
+        let expected = {
+            let max = Uint::<4>::MAX.to_biguint();
+            &max * &max
+        };
+        let got = &lo.to_biguint() + &hi.to_biguint().shl_bits(256);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn biguint_roundtrip_and_overflow() {
+        let v =
+            BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffff").unwrap();
+        let u = Uint::<4>::from_biguint(&v).unwrap();
+        assert_eq!(u.to_biguint(), v);
+        // 2^256 does not fit in 4 limbs.
+        let big = BigUint::from(1u64).shl_bits(256);
+        assert!(Uint::<4>::from_biguint(&big).is_none());
+        // An odd number of u32 limbs round-trips too.
+        let odd = BigUint::from_hex("123456789a").unwrap();
+        assert_eq!(Uint::<4>::from_biguint(&odd).unwrap().to_biguint(), odd);
+    }
+
+    #[test]
+    fn ordering_is_value_order() {
+        let one = Uint::<4>::from_u64(1);
+        let two = Uint::<4>::from_u64(2);
+        let top = Uint::<4>::from_limbs([0, 0, 0, 1]);
+        assert!(one < two);
+        assert!(two < top);
+        assert_eq!(top.cmp(&top), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_matches_biguint_hex() {
+        let v = BigUint::from_hex("deadbeef00112233445566778899aabb").unwrap();
+        let u = Uint::<4>::from_biguint(&v).unwrap();
+        assert_eq!(u.to_string(), v.to_hex());
+        assert_eq!(Uint::<4>::ZERO.to_string(), "0");
+    }
+}

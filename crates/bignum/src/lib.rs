@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fixed;
 mod gcd;
 mod limb;
 mod modular;

@@ -52,6 +52,65 @@ pub(crate) fn inv_mod_limb(m: Limb) -> Limb {
     x.wrapping_neg()
 }
 
+// --- u64 primitives for the fixed-width backend (`crate::fixed`) ---
+//
+// Same carry/borrow shapes as the u32 family above, but one radix up:
+// u64 limbs with u128 intermediates. Stable Rust's `u64::carrying_add`
+// and `u64::widening_mul` are nightly-only, so these spell out the u128
+// arithmetic by hand.
+
+/// Add with carry at radix 2^64: `(sum, carry_out)` of `a + b + carry_in`.
+///
+/// `carry_in` must be 0 or 1; `carry_out` is always 0 or 1.
+#[inline]
+pub fn carrying_add64(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtract with borrow at radix 2^64: `(diff, borrow_out)` of
+/// `a - b - borrow_in`.
+///
+/// `borrow_in` must be 0 or 1; `borrow_out` is always 0 or 1.
+#[inline]
+pub fn borrowing_sub64(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Widening multiply at radix 2^64: `(low, high)` of the 128-bit product
+/// `b * c`.
+#[inline]
+pub fn widening_mul64(b: u64, c: u64) -> (u64, u64) {
+    let t = (b as u128) * (c as u128);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Multiply-accumulate at radix 2^64: `(low, high)` of `a + b * c + carry`.
+///
+/// Never overflows: the maximum value is
+/// `(2^64-1) + (2^64-1)^2 + (2^64-1) = 2^128 - 1`.
+#[inline]
+pub fn mac64(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + (b as u128) * (c as u128) + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Computes `-m^{-1} mod 2^64` for odd `m` — the CIOS constant `p'` of the
+/// fixed-width backend, one Newton–Hensel iteration deeper than the u32
+/// variant (6 doublings reach 64 correct bits).
+#[inline]
+pub(crate) fn inv_mod_limb64(m: u64) -> u64 {
+    debug_assert!(m & 1 == 1, "modulus must be odd");
+    let mut x: u64 = 1;
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+    }
+    x.wrapping_neg()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +147,51 @@ mod tests {
             }
             let inv = inv_mod_limb(m);
             // inv == -m^{-1} mod 2^32  <=>  m * inv == -1 mod 2^32
+            assert_eq!(m.wrapping_mul(inv).wrapping_add(1), 0, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn carrying_add64_carries() {
+        assert_eq!(carrying_add64(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(carrying_add64(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(carrying_add64(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn borrowing_sub64_borrows() {
+        assert_eq!(borrowing_sub64(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(borrowing_sub64(5, 3, 1), (1, 0));
+        assert_eq!(borrowing_sub64(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn widening_mul64_matches_u128() {
+        let (lo, hi) = widening_mul64(u64::MAX, u64::MAX);
+        let expected = (u64::MAX as u128) * (u64::MAX as u128);
+        assert_eq!(lo as u128 | ((hi as u128) << 64), expected);
+    }
+
+    #[test]
+    fn mac64_accumulates_without_overflow() {
+        assert_eq!(mac64(3, 7, 9, 1), (67, 0));
+        let (lo, hi) = mac64(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        let expected =
+            u64::MAX as u128 + (u64::MAX as u128) * (u64::MAX as u128) + u64::MAX as u128;
+        assert_eq!(lo as u128 | ((hi as u128) << 64), expected);
+    }
+
+    #[test]
+    fn inv_mod_limb64_is_negative_inverse() {
+        for &m in &[
+            1u64,
+            3,
+            5,
+            u64::MAX,
+            0x1234_5677_89AB_CDEF,
+            0xFFFF_FFFE_FFFF_FC2F, // secp256k1 low limb
+        ] {
+            let inv = inv_mod_limb64(m);
             assert_eq!(m.wrapping_mul(inv).wrapping_add(1), 0, "m = {m}");
         }
     }

@@ -5,6 +5,7 @@ use field::{FpContext, FpElement};
 use rand::Rng;
 
 use crate::error::EccError;
+use crate::fixed::FixedCurve;
 use crate::params::{P160Reproduction, Toy};
 use crate::point::{AffinePoint, JacobianPoint};
 
@@ -35,6 +36,9 @@ pub struct Curve {
     // Whether a ≡ -3 (mod p), precomputed so the per-doubling dispatch
     // to the shortened formulas costs a bool instead of a conversion.
     a_minus_three: bool,
+    // The stack-allocated ladder backend, present exactly when the field
+    // has a fixed-width 256-bit context (see `Curve::fixed_backend`).
+    fixed: Option<FixedCurve>,
 }
 
 /// Explicit curve parameters with named fields — the builder behind every
@@ -207,6 +211,9 @@ impl Curve {
         }
         let a_minus_three = a_is_minus_three(&fp, &a);
         let bits = bits.unwrap_or_else(|| fp.bit_len());
+        let fixed = fp
+            .fixed256()
+            .map(|ctx| FixedCurve::new(ctx.clone(), &a, a_minus_three));
         let curve = Curve {
             fp: fp.clone(),
             a,
@@ -217,6 +224,7 @@ impl Curve {
             bits,
             name,
             a_minus_three,
+            fixed,
         };
         let base = curve
             .lift(
@@ -310,6 +318,15 @@ impl Curve {
     /// The coefficient `b`.
     pub fn b(&self) -> &FpElement {
         &self.b
+    }
+
+    /// The stack-allocated ladder backend, present exactly when the field
+    /// prime is 256-bit (e.g. [`crate::Secp256k1`] and [`crate::P256`];
+    /// see [`field::FpContext::fixed256`]). [`Curve::scalar_mul`] uses it
+    /// automatically for double-and-add ladders; benchmarks and
+    /// differential tests reach it through this accessor.
+    pub fn fixed_backend(&self) -> Option<&FixedCurve> {
+        self.fixed.as_ref()
     }
 
     /// The curve name.

@@ -1,0 +1,273 @@
+//! Stack-allocated scalar-multiplication backend for 256-bit curves.
+//!
+//! The named 256-bit curves ([`crate::Secp256k1`], [`crate::P256`]) spend
+//! their host time in Jacobian ladder steps whose field arithmetic all
+//! funnels through heap-allocated [`bignum::BigUint`] residues. This module
+//! re-runs the *same* formulas — the general and `a = -3` "dbl-2001-b"
+//! doublings and the mixed-coordinate addition of
+//! [`crate::Curve::jacobian_double`] / [`Curve::jacobian_add_mixed`] — on
+//! [`bignum::fixed::Uint<4>`] stack words, with zero heap allocation from
+//! the first doubling through the final Fermat inversion.
+//!
+//! Because the fixed backend shares the Montgomery radix `R = 2^256` with
+//! the field's heap parameters (see [`field::FpContext::fixed256`]), every
+//! intermediate here is the *bit-identical* Montgomery residue the heap
+//! ladder would have produced; the differential suites in `tests/` pin
+//! this.
+//!
+//! [`FixedCurve`] is constructed by [`Curve`] itself during
+//! [`Curve::from_spec`] — there is no public constructor — and
+//! [`Curve::scalar_mul`] dispatches to it automatically, so callers keep
+//! the typed [`Curve`] API. [`Curve::fixed_backend`] exposes the backend
+//! for benchmarks and differential tests.
+
+use bignum::fixed::{add_mod, sub_mod, MontgomeryContext, Uint};
+use bignum::BigUint;
+use field::FpElement;
+
+use crate::curve::Curve;
+use crate::point::AffinePoint;
+
+/// A 256-bit residue in Montgomery form on the fixed backend.
+type Residue = Uint<4>;
+
+/// A Jacobian point on the fixed backend; `z = 0` encodes infinity (with
+/// `x = y = 1` in Montgomery form, mirroring the heap convention).
+#[derive(Clone, Copy)]
+struct JPoint {
+    x: Residue,
+    y: Residue,
+    z: Residue,
+}
+
+/// The fixed-width ladder backend of a 256-bit [`Curve`].
+///
+/// Holds the field's shared-radix [`MontgomeryContext`] plus the curve
+/// constants the doubling formulas need, all as stack values. Built by
+/// [`Curve::from_spec`] exactly when the field has a
+/// [`field::FpContext::fixed256`] backend; retrieved via
+/// [`Curve::fixed_backend`].
+#[derive(Clone, Debug)]
+pub struct FixedCurve {
+    ctx: MontgomeryContext<4>,
+    /// The coefficient `a` in Montgomery form.
+    a_mont: Residue,
+    /// The constant 3 in Montgomery form (the fast doubling's tangent
+    /// factor).
+    three_mont: Residue,
+    a_is_minus_three: bool,
+}
+
+impl FixedCurve {
+    /// Builds the backend from the field context and curve coefficient.
+    /// Crate-internal: curves construct this in [`Curve::from_spec`].
+    pub(crate) fn new(ctx: MontgomeryContext<4>, a: &FpElement, a_is_minus_three: bool) -> Self {
+        let a_mont = Residue::from_biguint(a.mont_repr())
+            .expect("Montgomery residue of a 256-bit field fits in 4 limbs");
+        let three_mont = ctx.to_mont(&Uint::from_u64(3));
+        FixedCurve {
+            ctx,
+            a_mont,
+            three_mont,
+            a_is_minus_three,
+        }
+    }
+
+    /// The fixed-width Montgomery context this backend computes in (shared
+    /// radix with the curve's [`field::FpContext`]).
+    pub fn context(&self) -> &MontgomeryContext<4> {
+        &self.ctx
+    }
+
+    /// Whether the ladder uses the shortened `a = -3` doubling.
+    pub fn a_is_minus_three(&self) -> bool {
+        self.a_is_minus_three
+    }
+
+    #[inline]
+    fn mul(&self, a: &Residue, b: &Residue) -> Residue {
+        self.ctx.mont_mul(a, b)
+    }
+
+    #[inline]
+    fn sqr(&self, a: &Residue) -> Residue {
+        self.ctx.mont_mul(a, a)
+    }
+
+    #[inline]
+    fn add(&self, a: &Residue, b: &Residue) -> Residue {
+        add_mod(a, b, self.ctx.modulus())
+    }
+
+    #[inline]
+    fn sub(&self, a: &Residue, b: &Residue) -> Residue {
+        sub_mod(a, b, self.ctx.modulus())
+    }
+
+    #[inline]
+    fn dbl(&self, a: &Residue) -> Residue {
+        self.add(a, a)
+    }
+
+    fn infinity(&self) -> JPoint {
+        JPoint {
+            x: self.ctx.one_mont(),
+            y: self.ctx.one_mont(),
+            z: Residue::ZERO,
+        }
+    }
+
+    /// Jacobian doubling, mirroring [`Curve::jacobian_double`]'s dispatch
+    /// and formulas exactly.
+    fn jacobian_double(&self, p: &JPoint) -> JPoint {
+        if self.a_is_minus_three {
+            return self.jacobian_double_fast(p);
+        }
+        if p.z.is_zero() || p.y.is_zero() {
+            return self.infinity();
+        }
+        let a_sq = self.sqr(&p.x); // X1²
+        let b_sq = self.sqr(&p.y); // Y1²
+        let c = self.sqr(&b_sq); // Y1⁴
+                                 // D = 2((X1 + B)² - A - C)
+        let d = self.dbl(&self.sub(&self.sub(&self.sqr(&self.add(&p.x, &b_sq)), &a_sq), &c));
+        // E = 3A + a·Z1⁴
+        let z2 = self.sqr(&p.z);
+        let e = self.add(
+            &self.add(&self.dbl(&a_sq), &a_sq),
+            &self.mul(&self.a_mont, &self.sqr(&z2)),
+        );
+        let f = self.sqr(&e);
+        let x3 = self.sub(&f, &self.dbl(&d));
+        let eight_c = self.dbl(&self.dbl(&self.dbl(&c)));
+        let y3 = self.sub(&self.mul(&e, &self.sub(&d, &x3)), &eight_c);
+        let z3 = self.dbl(&self.mul(&p.y, &p.z));
+        JPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Shortened `a = -3` doubling ("dbl-2001-b"), mirroring
+    /// [`Curve::jacobian_double_fast`].
+    fn jacobian_double_fast(&self, p: &JPoint) -> JPoint {
+        debug_assert!(self.a_is_minus_three, "fast doubling requires a = -3");
+        if p.z.is_zero() || p.y.is_zero() {
+            return self.infinity();
+        }
+        let delta = self.sqr(&p.z); // Z1²
+        let gamma = self.sqr(&p.y); // Y1²
+        let beta = self.mul(&p.x, &gamma); // X1·Y1²
+        let alpha = self.mul(
+            &self.three_mont,
+            &self.mul(&self.sub(&p.x, &delta), &self.add(&p.x, &delta)),
+        );
+        let beta4 = self.dbl(&self.dbl(&beta));
+        let x3 = self.sub(&self.sqr(&alpha), &self.dbl(&beta4));
+        let y3 = self.sub(
+            &self.mul(&alpha, &self.sub(&beta4, &x3)),
+            &self.dbl(&self.dbl(&self.dbl(&self.sqr(&gamma)))),
+        );
+        let z3 = self.dbl(&self.mul(&p.y, &p.z));
+        JPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed-coordinate addition of an affine addend (`Z2 = 1`), mirroring
+    /// [`Curve::jacobian_add_mixed`] including its degenerate cases.
+    fn jacobian_add_mixed(&self, p: &JPoint, x2: &Residue, y2: &Residue) -> JPoint {
+        if p.z.is_zero() {
+            return JPoint {
+                x: *x2,
+                y: *y2,
+                z: self.ctx.one_mont(),
+            };
+        }
+        let z1z1 = self.sqr(&p.z);
+        let u2 = self.mul(x2, &z1z1);
+        let s2 = self.mul(y2, &self.mul(&p.z, &z1z1));
+        if u2 == p.x {
+            if s2 == p.y {
+                return self.jacobian_double(p);
+            }
+            return self.infinity();
+        }
+        let h = self.sub(&u2, &p.x);
+        let i = self.sqr(&self.dbl(&h));
+        let j = self.mul(&h, &i);
+        let r = self.dbl(&self.sub(&s2, &p.y));
+        let v = self.mul(&p.x, &i);
+        let x3 = self.sub(&self.sub(&self.sqr(&r), &j), &self.dbl(&v));
+        let y3 = self.sub(
+            &self.mul(&r, &self.sub(&v, &x3)),
+            &self.dbl(&self.mul(&p.y, &j)),
+        );
+        let z3 = self.dbl(&self.mul(&p.z, &h));
+        JPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Normalizes back to affine form (one Fermat inversion, still on the
+    /// stack); `None` is the point at infinity.
+    fn to_affine(&self, p: &JPoint) -> Option<(Residue, Residue)> {
+        if p.z.is_zero() {
+            return None;
+        }
+        let z_inv = self
+            .ctx
+            .mont_inv_prime(&p.z)
+            .expect("finite point has z != 0");
+        let z_inv2 = self.sqr(&z_inv);
+        let z_inv3 = self.mul(&z_inv2, &z_inv);
+        Some((self.mul(&p.x, &z_inv2), self.mul(&p.y, &z_inv3)))
+    }
+
+    /// Left-to-right double-and-add ladder on Montgomery-form affine
+    /// coordinates, mirroring the heap `double_and_add` step for step.
+    /// `None` is the point at infinity. Performs no heap allocation.
+    pub fn scalar_mul(
+        &self,
+        x_mont: &Residue,
+        y_mont: &Residue,
+        k: &Residue,
+    ) -> Option<(Residue, Residue)> {
+        let mut acc = self.infinity();
+        for i in (0..k.bit_len()).rev() {
+            acc = self.jacobian_double(&acc);
+            if k.bit(i) {
+                acc = self.jacobian_add_mixed(&acc, x_mont, y_mont);
+            }
+        }
+        self.to_affine(&acc)
+    }
+}
+
+impl Curve {
+    /// Runs `k · point` on the fixed backend when possible: the curve has
+    /// one, the point is finite, and the scalar fits in 256 bits. Returns
+    /// `None` when any precondition fails so the caller falls back to the
+    /// heap ladder.
+    pub(crate) fn fixed_scalar_mul(&self, point: &AffinePoint, k: &BigUint) -> Option<AffinePoint> {
+        let backend = self.fixed_backend()?;
+        let (x, y) = point.coordinates()?;
+        let k = Residue::from_biguint(k)?;
+        let x =
+            Residue::from_biguint(x.mont_repr()).expect("256-bit field residue fits in 4 limbs");
+        let y =
+            Residue::from_biguint(y.mont_repr()).expect("256-bit field residue fits in 4 limbs");
+        Some(match backend.scalar_mul(&x, &y, &k) {
+            None => AffinePoint::Infinity,
+            Some((x, y)) => AffinePoint::Point {
+                x: FpElement::from_mont_repr(x.to_biguint()),
+                y: FpElement::from_mont_repr(y.to_biguint()),
+            },
+        })
+    }
+}

@@ -39,6 +39,7 @@
 mod curve;
 mod ecdh;
 mod error;
+pub mod fixed;
 mod params;
 mod point;
 mod scalar;
@@ -46,6 +47,7 @@ mod scalar;
 pub use curve::{Curve, CurveSpec};
 pub use ecdh::EccKeyPair;
 pub use error::EccError;
+pub use fixed::FixedCurve;
 pub use params::{P160Reproduction, Secp256k1, Toy, WeierstrassParameters, P256};
 pub use point::{AffinePoint, JacobianPoint};
 #[allow(deprecated)] // re-exported for one release alongside the Curve methods

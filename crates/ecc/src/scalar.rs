@@ -37,7 +37,34 @@ pub enum ScalarMulAlgorithm {
 
 impl Curve {
     /// Computes `k · point` with the selected algorithm.
+    ///
+    /// On 256-bit curves the double-and-add ladder runs on the
+    /// stack-allocated fixed backend ([`Curve::fixed_backend`]) — the same
+    /// formula sequence on the same Montgomery residues, so the result is
+    /// bit-identical to the heap ladder ([`Curve::scalar_mul_reference`]
+    /// pins this).
     pub fn scalar_mul(
+        &self,
+        point: &AffinePoint,
+        k: &BigUint,
+        algorithm: ScalarMulAlgorithm,
+    ) -> AffinePoint {
+        if k.is_zero() || point.is_infinity() {
+            return AffinePoint::Infinity;
+        }
+        if algorithm == ScalarMulAlgorithm::DoubleAndAdd {
+            if let Some(result) = self.fixed_scalar_mul(point, k) {
+                return result;
+            }
+        }
+        self.scalar_mul_reference(point, k, algorithm)
+    }
+
+    /// Computes `k · point` on the heap (`BigUint`) ladder unconditionally
+    /// — the pre-fixed-backend behaviour, kept as the differential baseline
+    /// for tests and the `fixed_vs_heap` benchmark. [`Curve::scalar_mul`]
+    /// is the fast path; results are identical.
+    pub fn scalar_mul_reference(
         &self,
         point: &AffinePoint,
         k: &BigUint,

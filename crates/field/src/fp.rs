@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use bignum::fixed::{MontgomeryContext, Uint};
 use bignum::{BigUint, MontgomeryParams};
 use rand::Rng;
 
@@ -40,6 +41,11 @@ pub struct FpContext {
 struct FpInner {
     modulus: BigUint,
     mont: MontgomeryParams,
+    /// Fixed-width fast backend for 256-bit primes. Populated exactly when
+    /// the heap parameters use 8 u32 limbs, so both backends share the
+    /// Montgomery radix `R = 2^256` and representations are
+    /// interchangeable (see [`bignum::fixed::MontgomeryContext`]).
+    fixed256: Option<MontgomeryContext<4>>,
     counter: Arc<OpCounter>,
 }
 
@@ -96,10 +102,14 @@ impl FpContext {
             return Err(FieldError::InvalidModulus);
         }
         let mont = MontgomeryParams::new(p).ok_or(FieldError::InvalidModulus)?;
+        let fixed256 = (mont.num_limbs() == 8)
+            .then(|| MontgomeryContext::new(p))
+            .flatten();
         Ok(FpContext {
             inner: Arc::new(FpInner {
                 modulus: p.clone(),
                 mont,
+                fixed256,
                 counter: OpCounter::new(),
             }),
         })
@@ -126,6 +136,21 @@ impl FpContext {
     /// platform simulator, which replays the same constants in microcode).
     pub fn montgomery(&self) -> &MontgomeryParams {
         &self.inner.mont
+    }
+
+    /// The fixed-width (4×u64 limb) Montgomery context backing this field,
+    /// when the modulus is a 256-bit prime — `None` otherwise.
+    ///
+    /// The fixed backend shares the Montgomery radix `R = 2^256` with
+    /// [`FpContext::montgomery`], so an [`FpElement`]'s `mont_repr` is also
+    /// its fixed-backend Montgomery form (only the limb packing differs).
+    /// [`FpContext::exp`] and [`FpContext::inv`] route their
+    /// square-and-multiply loops through it automatically; `ecc` uses this
+    /// accessor to run whole scalar-mult ladders on the stack. Single
+    /// `mul`/`add` calls keep the heap path — for one multiplication the
+    /// `BigUint` round-trip would cost as much as it saves.
+    pub fn fixed256(&self) -> Option<&MontgomeryContext<4>> {
+        self.inner.fixed256.as_ref()
     }
 
     /// The shared operation counter.
@@ -253,7 +278,27 @@ impl FpContext {
     }
 
     /// Modular exponentiation by square-and-multiply.
+    ///
+    /// For 256-bit primes the whole loop runs on the fixed-width backend
+    /// (no heap allocation per step); the recorded operation counts and the
+    /// result are identical to the heap path.
     pub fn exp(&self, base: &FpElement, exp: &BigUint) -> FpElement {
+        if let Some(ctx) = self.inner.fixed256.as_ref() {
+            if let Some(base_f) = Uint::<4>::from_biguint(&base.mont) {
+                let mut acc = ctx.one_mont();
+                for i in (0..exp.bit_len()).rev() {
+                    self.inner.counter.record_mul();
+                    acc = ctx.mont_mul(&acc, &acc);
+                    if exp.bit(i) {
+                        self.inner.counter.record_mul();
+                        acc = ctx.mont_mul(&acc, &base_f);
+                    }
+                }
+                return FpElement {
+                    mont: acc.to_biguint(),
+                };
+            }
+        }
         let mut acc = self.one();
         for i in (0..exp.bit_len()).rev() {
             acc = self.square(&acc);
@@ -270,9 +315,19 @@ impl FpContext {
             return None;
         }
         self.inner.counter.record_inv();
-        let exp = &self.inner.modulus - &BigUint::from(2u64);
         // The exponentiation's internal multiplications are deliberately not
         // double-counted: the paper treats inversion as its own primitive.
+        if let Some(ctx) = self.inner.fixed256.as_ref() {
+            if let Some(a_f) = Uint::<4>::from_biguint(&a.mont) {
+                let inv = ctx
+                    .mont_inv_prime(&a_f)
+                    .expect("non-zero element stays non-zero in fixed form");
+                return Some(FpElement {
+                    mont: inv.to_biguint(),
+                });
+            }
+        }
+        let exp = &self.inner.modulus - &BigUint::from(2u64);
         let mut acc = self.one();
         for i in (0..exp.bit_len()).rev() {
             acc = FpElement {
@@ -504,6 +559,41 @@ mod tests {
             assert_eq!(fp.sqrt(&fp.zero()), Some(fp.zero()));
             assert!(!fp.is_square(&fp.zero()));
         }
+    }
+
+    #[test]
+    fn fixed256_fast_path_matches_heap_loops() {
+        // secp256k1's p: 8 u32 limbs, so the fixed backend engages.
+        let p =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap();
+        let fp = FpContext::new(&p).unwrap();
+        assert!(fp.fixed256().is_some());
+        assert!(ctx().fixed256().is_none(), "small primes stay on the heap");
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let a = fp.random(&mut rng);
+            let e = BigUint::random_below(&mut rng, &p);
+            // Reference: the heap Montgomery exponentiation on the plain residue.
+            let expected = fp.montgomery().mod_exp(&fp.to_biguint(&a), &e);
+            assert_eq!(fp.to_biguint(&fp.exp(&a, &e)), expected);
+            if !a.is_zero() {
+                let expected_inv = fp.montgomery().mod_inv_prime(&fp.to_biguint(&a)).unwrap();
+                assert_eq!(fp.to_biguint(&fp.inv(&a).unwrap()), expected_inv);
+            }
+        }
+
+        // The fast path records the same operation counts as the heap loop:
+        // one mul per squaring plus one per set exponent bit.
+        fp.reset_op_count();
+        let e = BigUint::from(0b1011u64);
+        let _ = fp.exp(&fp.from_u64(7), &e);
+        assert_eq!(fp.op_count().mul, 4 + 3);
+        fp.reset_op_count();
+        let _ = fp.inv(&fp.from_u64(7));
+        let c = fp.op_count();
+        assert_eq!((c.inv, c.mul), (1, 0), "inversion stays its own primitive");
     }
 
     #[test]

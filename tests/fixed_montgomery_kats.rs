@@ -1,0 +1,210 @@
+//! Known-answer tests pinning `bignum::fixed::MontgomeryContext` to the
+//! heap `MontgomeryParams` backend on the standards 256-bit moduli, plus
+//! the published secp256k1/P-256 generator multiples re-run through the
+//! fixed-width curve ladder.
+//!
+//! Both backends use the Montgomery radix `R = 2^256` on these moduli
+//! (8 × 32-bit heap limbs, 4 × 64-bit fixed limbs), so everything —
+//! `n'`, `R²`, Montgomery forms, products — must agree *bit for bit*, not
+//! just modulo `p`. The `n'` and `R²` values are additionally checked
+//! against independently derived constants so a shared bug in the two
+//! Newton–Hensel inversions could not hide.
+
+use bignum::fixed::{MontgomeryContext, Uint};
+use bignum::{BigUint, MontgomeryParams};
+use ecc::prelude::*;
+use field::FpElement;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// The secp256k1 prime `2^256 - 2^32 - 977`.
+const SECP256K1_P: &str = "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f";
+/// The P-256 (secp256r1) prime `2^256 - 2^224 + 2^192 + 2^96 - 1`.
+const P256_P: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+
+fn hex(s: &str) -> BigUint {
+    BigUint::from_hex(s).expect("valid hex test vector")
+}
+
+/// Both backends over the same modulus.
+fn contexts(p_hex: &str) -> (MontgomeryContext<4>, MontgomeryParams) {
+    let p = hex(p_hex);
+    let fixed = MontgomeryContext::<4>::new(&p).expect("256-bit odd prime fits 4 limbs");
+    let heap = MontgomeryParams::new(&p).expect("odd modulus");
+    (fixed, heap)
+}
+
+#[test]
+fn n_prime_matches_known_answers_and_heap_truncation() {
+    // -p⁻¹ mod 2^64 for secp256k1, from an independent computation.
+    let (fixed, heap) = contexts(SECP256K1_P);
+    assert_eq!(fixed.n0_inv(), 0xd838_091d_d225_3531);
+    // The heap backend computes n' mod 2^32; the fixed value must truncate
+    // to it (same Hensel lift, twice the precision).
+    assert_eq!(fixed.n0_inv() as u32, heap.n0_inv());
+
+    // P-256's low limb is 2^64 - 1, i.e. p ≡ -1 (mod 2^64), so n' = 1.
+    let (fixed, heap) = contexts(P256_P);
+    assert_eq!(fixed.n0_inv(), 1);
+    assert_eq!(fixed.n0_inv() as u32, heap.n0_inv());
+}
+
+#[test]
+fn r_squared_matches_independent_computation() {
+    for p_hex in [SECP256K1_P, P256_P] {
+        let p = hex(p_hex);
+        let (fixed, _) = contexts(p_hex);
+        // R² = 2^512 mod p, derived here with nothing but shifts.
+        let r2 = &BigUint::one().shl_bits(512) % &p;
+        assert_eq!(fixed.r2().to_biguint(), r2, "R² mismatch on {p_hex}");
+        // And R = 2^256 mod p is the Montgomery form of 1.
+        let r = &BigUint::one().shl_bits(256) % &p;
+        assert_eq!(fixed.one_mont().to_biguint(), r, "R mismatch on {p_hex}");
+    }
+}
+
+#[test]
+fn montgomery_forms_are_bit_identical_across_backends() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xf17e_d256);
+    for p_hex in [SECP256K1_P, P256_P] {
+        let p = hex(p_hex);
+        let (fixed, heap) = contexts(p_hex);
+        assert_eq!(fixed.one_mont().to_biguint(), heap.to_mont(&BigUint::one()));
+        for _ in 0..16 {
+            let a = &BigUint::random_bits(&mut rng, 256) % &p;
+            let b = &BigUint::random_bits(&mut rng, 256) % &p;
+            let af = Uint::<4>::from_biguint(&a).unwrap();
+            let bf = Uint::<4>::from_biguint(&b).unwrap();
+            // Same residue representation after conversion...
+            let am = fixed.to_mont(&af);
+            let bm = fixed.to_mont(&bf);
+            assert_eq!(am.to_biguint(), heap.to_mont(&a));
+            // ...the same product residue (not merely the same value)...
+            assert_eq!(
+                fixed.mont_mul(&am, &bm).to_biguint(),
+                heap.mont_mul(&heap.to_mont(&a), &heap.to_mont(&b))
+            );
+            // ...and the same way back out.
+            assert_eq!(fixed.from_mont(&am).to_biguint(), a);
+        }
+    }
+}
+
+#[test]
+fn known_products_match_on_the_secp256k1_modulus() {
+    // A handful of fully pinned products: operand, operand, expected
+    // (a · b mod p), recomputed through the Montgomery round-trip.
+    let (fixed, _) = contexts(SECP256K1_P);
+    let p = hex(SECP256K1_P);
+    let cases = [
+        (BigUint::from(2u64), BigUint::from(3u64)),
+        (&p - &BigUint::one(), &p - &BigUint::one()), // (-1)² = 1
+        (
+            &p - &BigUint::from(977u64),
+            BigUint::one().shl_bits(255) % &p,
+        ),
+    ];
+    for (a, b) in cases {
+        let expected = &(&a * &b) % &p;
+        let am = fixed.to_mont(&Uint::from_biguint(&a).unwrap());
+        let bm = fixed.to_mont(&Uint::from_biguint(&b).unwrap());
+        let got = fixed.from_mont(&fixed.mont_mul(&am, &bm));
+        assert_eq!(
+            got.to_biguint(),
+            expected,
+            "{} * {}",
+            a.to_hex(),
+            b.to_hex()
+        );
+    }
+    // (-1)² = 1 specifically must come back as the Montgomery form of 1.
+    let minus_one = fixed.to_mont(&Uint::from_biguint(&(&p - &BigUint::one())).unwrap());
+    assert_eq!(fixed.mont_mul(&minus_one, &minus_one), fixed.one_mont());
+}
+
+#[test]
+fn backend_presence_matches_field_width() {
+    for (name, expect) in [
+        ("secp256k1", true),
+        ("p256", true),
+        ("p160-reproduction", false),
+        ("toy-1009", false),
+    ] {
+        let curve = Curve::by_name(name).unwrap();
+        assert_eq!(
+            curve.fixed_backend().is_some(),
+            expect,
+            "{name}: fixed backend presence"
+        );
+        assert_eq!(
+            curve.fp().fixed256().is_some(),
+            expect,
+            "{name}: field fast path"
+        );
+    }
+}
+
+/// Runs `k · G` directly through the fixed backend (no dispatch), returning
+/// the affine result as field elements.
+fn fixed_mul_base(curve: &Curve, k: u64) -> Option<(FpElement, FpElement)> {
+    let backend = curve.fixed_backend().expect("256-bit curve has a backend");
+    let (gx, gy) = curve.base_point().coordinates().expect("G is finite");
+    let to_residue = |e: &FpElement| Uint::<4>::from_biguint(e.mont_repr()).unwrap();
+    backend
+        .scalar_mul(&to_residue(gx), &to_residue(gy), &Uint::from_u64(k))
+        .map(|(x, y)| {
+            (
+                FpElement::from_mont_repr(x.to_biguint()),
+                FpElement::from_mont_repr(y.to_biguint()),
+            )
+        })
+}
+
+#[test]
+fn fixed_ladder_reproduces_published_generator_multiples() {
+    // The same SEC 2 / FIPS 186-4 vectors `tests/named_curves.rs` pins on
+    // the heap ladder, this time evaluated on the stack backend alone.
+    let vectors = [
+        (
+            "secp256k1",
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5",
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a",
+            "fff97bd5755eeea420453a14355235d382f6472f8568a18b2f057a1460297556",
+        ),
+        (
+            "p256",
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978",
+            "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1",
+            "b01a172a76a4602c92d3242cb897dde3024c740debb215b4c6b0aae93c2291a9",
+        ),
+    ];
+    for (name, x2, y2, x6) in vectors {
+        let curve = Curve::by_name(name).unwrap();
+        let (gx2, gy2) = fixed_mul_base(&curve, 2).expect("2G is finite");
+        assert_eq!(gx2, curve.fp().from_biguint(&hex(x2)), "{name}: x(2G)");
+        assert_eq!(gy2, curve.fp().from_biguint(&hex(y2)), "{name}: y(2G)");
+        let (gx6, _) = fixed_mul_base(&curve, 6).expect("6G is finite");
+        assert_eq!(gx6, curve.fp().from_biguint(&hex(x6)), "{name}: x(6G)");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The dispatching ladder (which routes 256-bit double-and-add through
+    /// the fixed backend) agrees with the always-heap reference ladder on
+    /// random full-width scalars, on both named 256-bit curves.
+    #[test]
+    fn dispatch_matches_reference_ladder(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for name in ["secp256k1", "p256"] {
+            let curve = Curve::by_name(name).unwrap();
+            let k = BigUint::random_bits(&mut rng, 256);
+            let dispatched =
+                curve.scalar_mul(curve.base_point(), &k, ScalarMulAlgorithm::DoubleAndAdd);
+            let reference =
+                curve.scalar_mul_reference(curve.base_point(), &k, ScalarMulAlgorithm::DoubleAndAdd);
+            prop_assert_eq!(dispatched, reference);
+        }
+    }
+}
