@@ -14,7 +14,11 @@
 //! * exponentiation window size for the torus;
 //! * core-count sweep for the 1024-bit RSA multiplication;
 //! * the paper's future-work items (faster modular adders, overlap between
-//!   modular operations), modelled as cost-model what-ifs.
+//!   modular operations), modelled as cost-model what-ifs;
+//! * search sweep — the superoptimizing beam-search pass against the
+//!   hand-authored sequences, per formula in the database (ROADMAP item
+//!   4's "search the sequence space"); honours `SEARCH_BEAM_WIDTH` and
+//!   merges the per-formula cycle counts into `BENCH_REPORT_JSON`.
 
 use bench::{paper, print_table, Row};
 use bignum::BigUint;
@@ -27,10 +31,81 @@ fn main() {
     dual_path_sweep();
     pa_mixed_sweep();
     pd_fast_sweep();
+    search_sweep();
     interrupt_sweep();
     window_sweep();
     core_sweep_rsa();
     future_work();
+}
+
+fn search_sweep() {
+    // ROADMAP item 4: the superoptimizing search pass versus the
+    // hand-authored InsRom orders, one row per formula in the database,
+    // priced by the executing Type-B engine at each formula's calibration
+    // point. The search is gated never-worse (the assert below is the
+    // same property the proptests pin); discovered wins land in the
+    // table and, when `BENCH_REPORT_JSON` is set, in the flat report.
+    // `SEARCH_BEAM_WIDTH` bounds the beam so CI smoke runs stay cheap.
+    let beam: usize = std::env::var("SEARCH_BEAM_WIDTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CostModel::paper().search_beam_width);
+    let searched_cost = CostModel::paper().with_search(true).with_beam_width(beam);
+    let authored_cost = CostModel::paper();
+    let mut rows = Vec::new();
+    let mut pairs: Vec<(String, u64)> = Vec::new();
+    let mut wins = 0usize;
+    for formula in platform::FormulaDb::builtin().formulas() {
+        let kind = formula.kind();
+        let bits = if kind == platform::OpKind::Fp6Mul {
+            170
+        } else {
+            160
+        };
+        let authored = Platform::new(authored_cost, 4, Hierarchy::TypeB)
+            .composite_report(kind, bits)
+            .cycles;
+        let searched = Platform::new(searched_cost, 4, Hierarchy::TypeB)
+            .composite_report(kind, bits)
+            .cycles;
+        assert!(
+            searched <= authored,
+            "{}: searched {searched} > authored {authored}",
+            formula.name()
+        );
+        if searched < authored {
+            wins += 1;
+        }
+        rows.push(Row {
+            label: format!(
+                "{} ({bits} bits): authored {authored}, searched {searched}",
+                formula.name()
+            ),
+            paper: "-".into(),
+            measured: format!("{:+.1}%", delta_pct(authored, searched)),
+        });
+        let key = formula.name().replace('-', "_");
+        pairs.push((format!("search_{key}_authored_cycles"), authored));
+        pairs.push((format!("search_{key}_searched_cycles"), searched));
+    }
+    rows.push(Row {
+        label: format!("formulas with a discovered win (beam width {beam})"),
+        paper: "-".into(),
+        measured: format!("{wins}/{}", platform::FormulaDb::builtin().formulas().len()),
+    });
+    print_table(
+        "Ablation: superoptimizing search vs hand-authored sequences",
+        &rows,
+    );
+    if let Ok(path) = std::env::var("BENCH_REPORT_JSON") {
+        let mut merged = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| bench::json::parse_object(&text).ok())
+            .unwrap_or_default();
+        merged.retain(|(k, _)| !k.starts_with("search_"));
+        merged.extend(pairs);
+        std::fs::write(&path, bench::json::write_object(&merged)).expect("write BENCH_REPORT_JSON");
+    }
 }
 
 fn pd_fast_sweep() {
@@ -61,13 +136,13 @@ fn pd_fast_sweep() {
             measured: format!("{:+.1}%", delta_pct(general, fast)),
         });
     }
-    // The compiler's reordering pass on the fast sequence: hazard-free
+    // The compiler's list-scheduling pass on the fast sequence: hazard-free
     // neighbour pairs before and after scheduling.
     let compiled = platform::compile(platform::OpKind::EccPdFast, 160, &CostModel::paper());
     let reorder = compiled
         .passes()
         .iter()
-        .find(|p| p.pass == "reorder")
+        .find(|p| p.pass == "list-schedule")
         .expect("fast PD is scheduled");
     rows.push(Row {
         label: format!(

@@ -35,6 +35,48 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bench::{json, metrics, paper};
+use platform::{CostModel, FormulaDb, Hierarchy, OpKind, Platform};
+
+/// One row of the informational "searched vs authored" section: a formula
+/// from the database priced through the executing Type-B engine with the
+/// hand-authored order and with the superoptimizing search pass enabled.
+struct SearchRow {
+    formula: &'static str,
+    bits: usize,
+    authored: u64,
+    searched: u64,
+}
+
+/// Prices every database formula under the authored order and the search
+/// pass (beam width from `SEARCH_BEAM_WIDTH` when set, so CI smoke runs
+/// stay cheap). Not gated: the golden rows pin the search-off calibration
+/// bit-identical; the never-worse property itself is pinned by the
+/// `search_properties` proptests and asserted by the `search_sweep`
+/// ablation.
+fn search_rows() -> Vec<SearchRow> {
+    let beam: usize = std::env::var("SEARCH_BEAM_WIDTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CostModel::paper().search_beam_width);
+    let searched_cost = CostModel::paper().with_search(true).with_beam_width(beam);
+    FormulaDb::builtin()
+        .formulas()
+        .iter()
+        .map(|f| {
+            let bits = if f.kind() == OpKind::Fp6Mul { 170 } else { 160 };
+            SearchRow {
+                formula: f.name(),
+                bits,
+                authored: Platform::new(CostModel::paper(), 4, Hierarchy::TypeB)
+                    .composite_report(f.kind(), bits)
+                    .cycles,
+                searched: Platform::new(searched_cost, 4, Hierarchy::TypeB)
+                    .composite_report(f.kind(), bits)
+                    .cycles,
+            }
+        })
+        .collect()
+}
 
 /// One fully-evaluated scorecard row: a golden metric joined with its
 /// measurement and, where the paper reports the number, the paper value.
@@ -85,7 +127,7 @@ fn markdown_rows(out: &mut String, rows: &[&ScoreRow]) {
 /// beyond-paper 256-bit predictions and the throughput-engine serving
 /// rows in their own sections so reviewers never mistake a prediction or
 /// a serving number for a reproduced one.
-fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
+fn markdown_scorecard(rows: &[ScoreRow], search: &[SearchRow], failures: &[String]) -> String {
     let (engine, model): (Vec<&ScoreRow>, Vec<&ScoreRow>) =
         rows.iter().partition(|row| row.name.starts_with("engine_"));
     let (predictions, reproductions): (Vec<&ScoreRow>, Vec<&ScoreRow>) = model
@@ -114,6 +156,24 @@ fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
         );
         markdown_rows(&mut out, &engine);
     }
+    if !search.is_empty() {
+        out.push_str(
+            "\n### Searched vs authored sequences\n\n\
+             The superoptimizing search pass against the hand-authored \
+             InsRom orders, per formula in the database (informational — \
+             the gated rows above run with search off, and the never-worse \
+             property is pinned by the `search_properties` proptests).\n\n\
+             | formula | bits | authored | searched | Δ |\n\
+             |---|---:|---:|---:|---:|\n",
+        );
+        for row in search {
+            let delta = 100.0 * (row.searched as f64 - row.authored as f64) / row.authored as f64;
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {delta:+.1}% |\n",
+                row.formula, row.bits, row.authored, row.searched
+            ));
+        }
+    }
     let verdict = if failures.is_empty() {
         format!(
             "\nAll {} metrics within tolerance. Paper deltas are relative to \
@@ -134,14 +194,14 @@ fn markdown_scorecard(rows: &[ScoreRow], failures: &[String]) -> String {
 
 /// Appends the scorecard to `$GITHUB_STEP_SUMMARY` when the variable is
 /// set (i.e. when running inside a GitHub Actions step).
-fn publish_step_summary(rows: &[ScoreRow], failures: &[String]) {
+fn publish_step_summary(rows: &[ScoreRow], search: &[SearchRow], failures: &[String]) {
     let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
         return;
     };
     if path.is_empty() {
         return;
     }
-    let card = markdown_scorecard(rows, failures);
+    let card = markdown_scorecard(rows, search, failures);
     match std::fs::OpenOptions::new()
         .append(true)
         .create(true)
@@ -265,7 +325,19 @@ fn main() -> ExitCode {
         }
     }
 
-    publish_step_summary(&score_rows, &failures);
+    // The informational searched-vs-authored comparison: printed for every
+    // run and appended to the step summary, never part of the gate.
+    let search = search_rows();
+    println!("\nsearched vs authored (informational, search off in the gated rows):");
+    for row in &search {
+        let delta = 100.0 * (row.searched as f64 - row.authored as f64) / row.authored as f64;
+        println!(
+            "  {:<16} {:>4} bits: authored {:>6}, searched {:>6} ({delta:+.1}%)",
+            row.formula, row.bits, row.authored, row.searched
+        );
+    }
+
+    publish_step_summary(&score_rows, &search, &failures);
 
     if failures.is_empty() {
         println!(

@@ -329,6 +329,31 @@ impl Curve {
         self.fixed.as_ref()
     }
 
+    /// A twin of this curve with every fixed-width fast path disabled:
+    /// the field context is [`field::FpContext::heap_only`] (single
+    /// products run on heap `BigUint`s, sharing the original operation
+    /// counter) and the stack-allocated ladder backend is dropped.
+    ///
+    /// This is the honest baseline for `fixed_vs_heap`-style comparisons:
+    /// with [`field::FpContext::mul`] routing through the fixed backend on
+    /// 256-bit fields, a reference ladder must run on a heap-only twin or
+    /// it would benchmark the fixed backend against itself.
+    /// [`Curve::scalar_mul_reference`] uses it internally.
+    pub fn heap_only(&self) -> Curve {
+        Curve {
+            fp: self.fp.heap_only(),
+            a: self.a.clone(),
+            b: self.b.clone(),
+            base: self.base.clone(),
+            order: self.order.clone(),
+            cofactor: self.cofactor.clone(),
+            bits: self.bits,
+            name: self.name,
+            a_minus_three: self.a_minus_three,
+            fixed: None,
+        }
+    }
+
     /// The curve name.
     pub fn name(&self) -> &'static str {
         self.name
@@ -600,8 +625,8 @@ impl Curve {
     ///
     /// This is the addition the scalar-multiplication ladder performs on
     /// every set bit — the addend is the one-time-normalized base point —
-    /// and the shape the platform's 13-multiplication
-    /// `ecc_pa_mixed_sequence` prices: `Z2 = 1` makes `U1 = X1` and
+    /// and the shape the platform formula database's 13-multiplication
+    /// `madd` entry prices: `Z2 = 1` makes `U1 = X1` and
     /// `S1 = Y1`, eliminating three of the general sequence's Montgomery
     /// products and collapsing the `Z3` tail to `2·Z1·H`. Functionally it
     /// agrees with `jacobian_add(p, to_jacobian(q))` on all inputs,

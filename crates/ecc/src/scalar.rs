@@ -62,8 +62,12 @@ impl Curve {
 
     /// Computes `k · point` on the heap (`BigUint`) ladder unconditionally
     /// — the pre-fixed-backend behaviour, kept as the differential baseline
-    /// for tests and the `fixed_vs_heap` benchmark. [`Curve::scalar_mul`]
-    /// is the fast path; results are identical.
+    /// for tests and the `fixed_vs_heap` benchmark. The whole ladder
+    /// (formulas *and* single field products) runs on a
+    /// [`Curve::heap_only`] twin, so the baseline stays honest now that
+    /// [`field::FpContext::mul`] itself routes 256-bit products through
+    /// the fixed backend. [`Curve::scalar_mul`] is the fast path; results
+    /// are identical.
     pub fn scalar_mul_reference(
         &self,
         point: &AffinePoint,
@@ -73,12 +77,13 @@ impl Curve {
         if k.is_zero() || point.is_infinity() {
             return AffinePoint::Infinity;
         }
+        let heap = self.heap_only();
         let result = match algorithm {
-            ScalarMulAlgorithm::DoubleAndAdd => double_and_add(self, point, k),
-            ScalarMulAlgorithm::Naf => naf_mul(self, point, k),
-            ScalarMulAlgorithm::Window4 => window_mul(self, point, k, 4),
+            ScalarMulAlgorithm::DoubleAndAdd => double_and_add(&heap, point, k),
+            ScalarMulAlgorithm::Naf => naf_mul(&heap, point, k),
+            ScalarMulAlgorithm::Window4 => window_mul(&heap, point, k, 4),
         };
-        self.to_affine(&result)
+        heap.to_affine(&result)
     }
 
     /// Computes `k · base_point` with the default algorithm (double-and-add,
@@ -284,6 +289,27 @@ mod tests {
             for w in digits.windows(2) {
                 assert!(w[0] == 0 || w[1] == 0, "NAF property violated for {k}");
             }
+        }
+    }
+
+    #[test]
+    fn reference_ladder_runs_heap_only_and_matches_the_fast_path() {
+        let curve = Curve::by_name("secp256k1").unwrap();
+        assert!(curve.fixed_backend().is_some());
+        let heap = curve.heap_only();
+        assert!(heap.fixed_backend().is_none());
+        assert!(heap.fp().fixed256().is_none());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+        for _ in 0..3 {
+            let k = BigUint::random_bits(&mut rng, 256);
+            let fast = curve.scalar_mul(curve.base_point(), &k, ScalarMulAlgorithm::DoubleAndAdd);
+            let reference = curve.scalar_mul_reference(
+                curve.base_point(),
+                &k,
+                ScalarMulAlgorithm::DoubleAndAdd,
+            );
+            assert_eq!(fast, reference);
+            assert!(curve.is_on_curve(&reference));
         }
     }
 

@@ -144,13 +144,32 @@ impl FpContext {
     /// The fixed backend shares the Montgomery radix `R = 2^256` with
     /// [`FpContext::montgomery`], so an [`FpElement`]'s `mont_repr` is also
     /// its fixed-backend Montgomery form (only the limb packing differs).
-    /// [`FpContext::exp`] and [`FpContext::inv`] route their
-    /// square-and-multiply loops through it automatically; `ecc` uses this
-    /// accessor to run whole scalar-mult ladders on the stack. Single
-    /// `mul`/`add` calls keep the heap path — for one multiplication the
-    /// `BigUint` round-trip would cost as much as it saves.
+    /// [`FpContext::mul`]/[`FpContext::square`] single products and the
+    /// [`FpContext::exp`] / [`FpContext::inv`] square-and-multiply loops
+    /// all route through it automatically; `ecc` uses this accessor to run
+    /// whole scalar-mult ladders on the stack. A context built by
+    /// [`FpContext::heap_only`] opts out, which is how the benchmark
+    /// baselines stay on the `BigUint` path.
     pub fn fixed256(&self) -> Option<&MontgomeryContext<4>> {
         self.inner.fixed256.as_ref()
+    }
+
+    /// A twin of this context with the fixed-width backend disabled: same
+    /// modulus, same Montgomery constants, and the **same shared operation
+    /// counter**, but every product runs on the heap `BigUint` path.
+    ///
+    /// This exists for honest baselines: `fixed_vs_heap` benches and
+    /// `scalar_mul_reference` must measure the heap implementation, not the
+    /// fixed backend against itself.
+    pub fn heap_only(&self) -> FpContext {
+        FpContext {
+            inner: Arc::new(FpInner {
+                modulus: self.inner.modulus.clone(),
+                mont: self.inner.mont.clone(),
+                fixed256: None,
+                counter: Arc::clone(&self.inner.counter),
+            }),
+        }
     }
 
     /// The shared operation counter.
@@ -255,8 +274,22 @@ impl FpContext {
     }
 
     /// Modular multiplication (one Montgomery multiplication).
+    ///
+    /// For 256-bit primes the product runs on the fixed-width backend;
+    /// residues are bit-identical to the heap path because both backends
+    /// share the Montgomery radix.
     pub fn mul(&self, a: &FpElement, b: &FpElement) -> FpElement {
         self.inner.counter.record_mul();
+        if let Some(ctx) = self.inner.fixed256.as_ref() {
+            if let (Some(a_f), Some(b_f)) = (
+                Uint::<4>::from_biguint(&a.mont),
+                Uint::<4>::from_biguint(&b.mont),
+            ) {
+                return FpElement {
+                    mont: ctx.mont_mul(&a_f, &b_f).to_biguint(),
+                };
+            }
+        }
         FpElement {
             mont: self.inner.mont.mont_mul(&a.mont, &b.mont),
         }
@@ -594,6 +627,39 @@ mod tests {
         let _ = fp.inv(&fp.from_u64(7));
         let c = fp.op_count();
         assert_eq!((c.inv, c.mul), (1, 0), "inversion stays its own primitive");
+    }
+
+    #[test]
+    fn single_products_route_fixed_and_heap_twin_matches() {
+        let p =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap();
+        let fp = FpContext::new(&p).unwrap();
+        let heap = fp.heap_only();
+        assert!(fp.fixed256().is_some());
+        assert!(heap.fixed256().is_none(), "twin must stay on the heap");
+        assert!(fp.same_field(&heap));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let a = fp.random(&mut rng);
+            let b = fp.random(&mut rng);
+            // Fixed-backend product bit-identical to the heap product (the
+            // backends share the Montgomery radix), and both are the plain
+            // modular product.
+            assert_eq!(fp.mul(&a, &b), heap.mul(&a, &b));
+            assert_eq!(fp.square(&a), heap.square(&a));
+            let expected = (&fp.to_biguint(&a) * &fp.to_biguint(&b)) % &p;
+            assert_eq!(fp.to_biguint(&fp.mul(&a, &b)), expected);
+        }
+
+        // The twin shares the counter, so op-count accounting is unchanged
+        // whichever context executes.
+        fp.reset_op_count();
+        let a = fp.from_u64(3);
+        let _ = fp.mul(&a, &a);
+        let _ = heap.mul(&a, &a);
+        assert_eq!(fp.op_count().mul, 2);
     }
 
     #[test]

@@ -30,24 +30,31 @@
 //! 4. **Mixed-coordinate ECC point addition**
 //!    ([`CostModel::mixed_coordinate_pa`]) — the scalar-multiplication
 //!    ladder's point addition uses the 13-multiplication mixed sequence
-//!    (`Z2 = 1`, affine addend;
-//!    `platform::programs::ecc_pa_mixed_sequence`) instead of the general
+//!    (`Z2 = 1`, affine addend; the `madd` formula in
+//!    [`crate::program::FormulaDb`]) instead of the general
 //!    16-multiplication Jacobian addition. This is what closes Table 2's
 //!    ECC PA rows. The general sequence stays available regardless of the
 //!    knob (for non-normalized inputs and for the `pa_mixed_sweep`
 //!    ablation); the knob selects which sequence the *ladder driver* runs.
 //! 5. **Fast `a = -3` point doubling** ([`CostModel::fast_pd`], the last
 //!    sequence-level layer) — the ladder's point doubling uses the
-//!    shortened 8-multiplication `a = -3` sequence
-//!    (`platform::programs::ecc_pd_fast_sequence`) instead of the general
+//!    shortened 8-multiplication `a = -3` sequence (the `dbl-2001-b`
+//!    formula in [`crate::program::FormulaDb`]) instead of the general
 //!    10-multiplication Jacobian doubling, on curves where `a = -3`
 //!    holds. This is what closes Table 2's Type-A ECC PD row (the
 //!    on-the-fly generated doubling); the general doubling stays
 //!    available regardless of the knob (it is the InsRom1 image whose
 //!    Type-B cycle count matches Table 2, and the fallback for curves
 //!    with arbitrary `a`).
+//! 6. **Superoptimizing sequence search**
+//!    ([`CostModel::sequence_search`]) — the compile pipeline appends a
+//!    beam-search pass over instruction reorderings and slot
+//!    reallocations, scored by the same overlap accounting the engine
+//!    charges, keeping the searched order only when strictly cheaper.
 //!
-//! [`CostModel::paper`] enables layers 2–5 together.
+//! [`CostModel::paper`] enables layers 2–5 together; layer 6 stays off in
+//! the published calibration (the paper rows are gated bit-identical) and
+//! is exercised by the `search_sweep` ablation.
 //!
 //! # Example
 //!
@@ -131,6 +138,18 @@ pub struct CostModel {
     /// `a` — the ladder runs the general doubling (the InsRom1 image,
     /// kept for ablations and as the Table 2 Type-B PD calibration).
     pub fast_pd: bool,
+    /// Run the superoptimizing search pass after list scheduling: a beam
+    /// search over instruction reorderings and slot reallocations, scored
+    /// by the same pipelined overlap accounting the engine charges, with
+    /// the searched order kept only when it is strictly cheaper than the
+    /// list-scheduled one. Off in [`CostModel::paper`] so the paper
+    /// reproduction rows stay bit-identical; the `search_sweep` ablation
+    /// turns it on to report discovered wins.
+    pub sequence_search: bool,
+    /// Beam width of the search pass: how many partial schedules survive
+    /// each expansion step. Wider beams explore more reorderings at
+    /// compile time; `SEARCH_BEAM_WIDTH` narrows it in CI smoke runs.
+    pub search_beam_width: usize,
     /// Which schedule combines the per-event costs above.
     pub schedule: ScheduleModel,
 }
@@ -152,6 +171,8 @@ impl CostModel {
             dual_path_addsub: true,
             mixed_coordinate_pa: true,
             fast_pd: true,
+            sequence_search: false,
+            search_beam_width: 8,
             schedule: ScheduleModel::Pipelined,
         }
     }
@@ -224,6 +245,32 @@ impl CostModel {
         self.fast_pd
     }
 
+    /// Returns this model with the superoptimizing search pass switched
+    /// on or off.
+    pub fn with_search(self, sequence_search: bool) -> Self {
+        CostModel {
+            sequence_search,
+            ..self
+        }
+    }
+
+    /// Returns this model with the given search beam width.
+    pub fn with_beam_width(self, search_beam_width: usize) -> Self {
+        CostModel {
+            search_beam_width,
+            ..self
+        }
+    }
+
+    /// Returns `true` if the compile pipeline runs the superoptimizing
+    /// search pass. Like the dual-path adder this requires the pipelined
+    /// schedule — the search is scored by the overlap credit, which the
+    /// flat sequential model never grants, so under it there is nothing
+    /// to search for.
+    pub fn uses_search(&self) -> bool {
+        self.sequence_search && self.is_pipelined()
+    }
+
     /// Returns `true` if the pipelined schedule is selected.
     pub fn is_pipelined(&self) -> bool {
         self.schedule == ScheduleModel::Pipelined
@@ -260,6 +307,8 @@ impl CostModel {
                 ScheduleModel::Pipelined => 1,
             },
         );
+        h = eat(h, self.sequence_search as u64);
+        h = eat(h, self.search_beam_width as u64);
         h
     }
 
@@ -331,6 +380,8 @@ mod tests {
             base.with_dual_path(false),
             base.with_mixed_pa(false),
             base.with_fast_pd(false),
+            base.with_search(true),
+            base.with_search(true).with_beam_width(4),
             base.with_schedule(ScheduleModel::Sequential),
             CostModel {
                 mac_pipeline_depth: 4,
@@ -372,6 +423,22 @@ mod tests {
         assert!(CostModel::paper_sequential()
             .with_mixed_pa(true)
             .uses_mixed_pa());
+    }
+
+    #[test]
+    fn search_is_off_in_both_calibrations_and_requires_the_pipeline() {
+        // The paper rows are gated bit-identical, so the published
+        // calibration must never run the search pass.
+        assert!(!CostModel::paper().uses_search());
+        assert!(!CostModel::paper_sequential().uses_search());
+        assert!(CostModel::paper().with_search(true).uses_search());
+        // The search is scored by the pipelined overlap credit; under the
+        // flat schedule the knob is inert, like dual-path.
+        assert!(!CostModel::paper_sequential()
+            .with_search(true)
+            .uses_search());
+        assert_eq!(CostModel::paper().search_beam_width, 8);
+        assert_eq!(CostModel::paper().with_beam_width(3).search_beam_width, 3);
     }
 
     #[test]

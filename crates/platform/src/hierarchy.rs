@@ -221,6 +221,108 @@ impl SequenceEngine {
     }
 }
 
+/// Static cycle pricing of level-2 sequences — the scorer of the
+/// superoptimizing search pass.
+///
+/// [`SequencePricing::sequence_cycles`] replays exactly the accounting
+/// walk the executing sequence engine charges (per-op prices, the prefetch
+/// credit of [`SequenceOp::may_overlap`] neighbours capped by the
+/// predecessor's own duration, the hierarchy's interrupt overheads)
+/// without executing any arithmetic, so a candidate reordering can be
+/// priced in microseconds instead of milliseconds. It lives next to the
+/// engine so the two walks cannot drift apart; the
+/// `pricing_matches_the_executing_engine` test pins them cycle-identical
+/// on every sequence kind.
+///
+/// Prices are taken at the *calibrated* case (no MA correction, no MS
+/// add-back — the constant-time dual-path case, and Table 1's reported
+/// one). Under the conditional-correction ablation individual runs can
+/// pay a data-dependent correction block on top, but that surcharge is
+/// order-invariant, so the ranking the search derives from this pricing
+/// is unaffected.
+#[derive(Debug, Clone, Copy)]
+pub struct SequencePricing {
+    mont_mul: u64,
+    mod_add: u64,
+    mod_sub: u64,
+    copy: u64,
+    overlap_budget: u64,
+    /// Type-A: one interrupt + register access after every non-copy op.
+    per_op_overhead: u64,
+    /// Type-B: one composite issue + interrupt for the whole sequence.
+    tail: u64,
+}
+
+impl SequencePricing {
+    /// Prices sequences of `bits`-bit operands under `cost` and
+    /// `hierarchy`, probing a paper-shaped 4-core coprocessor (per-op
+    /// latencies do not depend on the core count consulted here beyond
+    /// what `cost` already fixes).
+    pub fn new(cost: &crate::cost::CostModel, bits: usize, hierarchy: Hierarchy) -> Self {
+        let probe = Coprocessor::new(*cost, 4);
+        let overlap_budget = if hierarchy == Hierarchy::TypeB && cost.is_pipelined() {
+            cost.limbs(bits) as u64 * cost.mem_cycles
+        } else {
+            0
+        };
+        SequencePricing {
+            mont_mul: probe.mont_mul_cycles(bits),
+            mod_add: probe.mod_add_cycles(bits),
+            mod_sub: probe.mod_sub_cycles(bits),
+            copy: 2 * cost.mem_cycles,
+            overlap_budget,
+            per_op_overhead: if hierarchy == Hierarchy::TypeA {
+                cost.interrupt_cycles
+            } else {
+                0
+            },
+            tail: if hierarchy == Hierarchy::TypeB {
+                cost.interrupt_cycles + cost.issue_cycles
+            } else {
+                0
+            },
+        }
+    }
+
+    /// The execution price of one step, before overlap credits and
+    /// hierarchy overheads.
+    pub fn op_cycles(&self, op: &SequenceOp) -> u64 {
+        match op {
+            SequenceOp::MontMul { .. } => self.mont_mul,
+            SequenceOp::ModAdd { .. } => self.mod_add,
+            SequenceOp::ModSub { .. } => self.mod_sub,
+            SequenceOp::Copy { .. } => self.copy,
+        }
+    }
+
+    /// The prefetch credit one independent neighbour pair can earn (the
+    /// limb-stream memory cycles hidden under the predecessor's tail).
+    pub fn overlap_budget(&self) -> u64 {
+        self.overlap_budget
+    }
+
+    /// Total cycles the engine would charge for `ops` — the same walk
+    /// the executing sequence engine performs, arithmetic elided.
+    pub fn sequence_cycles(&self, ops: &[SequenceOp]) -> u64 {
+        let mut cycles = 0u64;
+        let mut prev: Option<(&SequenceOp, u64)> = None;
+        for op in ops {
+            if let Some((prev_op, prev_cycles)) = prev {
+                if SequenceOp::may_overlap(prev_op, op) {
+                    cycles -= self.overlap_budget.min(prev_cycles).min(cycles);
+                }
+            }
+            let own = self.op_cycles(op);
+            cycles += own;
+            prev = Some((op, own));
+            if !op.is_copy() {
+                cycles += self.per_op_overhead;
+            }
+        }
+        cycles + self.tail
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +412,42 @@ mod tests {
         let (_, _, mut fresh_slots) = setup();
         let ra = SequenceEngine::new(Hierarchy::TypeA).run(&cp, &p, &mut fresh_slots, &independent);
         assert_eq!(ra.overlapped_cycles, 0);
+    }
+
+    #[test]
+    fn pricing_matches_the_executing_engine() {
+        // The scorer must charge exactly what the engine charges — on
+        // every sequence kind, at both hierarchies, for paper-shaped
+        // operand lengths. (Pinned under the dual-path calibration, whose
+        // MA/MS microcode is constant-time by construction; conditional
+        // correction adds a data-dependent, order-invariant surcharge the
+        // scorer deliberately prices at the calibrated case.)
+        use crate::program::{compile, OpKind};
+        let cost = CostModel::paper();
+        let cp = Coprocessor::new(cost, 4);
+        for hierarchy in [Hierarchy::TypeA, Hierarchy::TypeB] {
+            let engine = SequenceEngine::new(hierarchy);
+            for (kind, bits) in [
+                (OpKind::Fp6Mul, 170),
+                (OpKind::EccPaGeneral, 160),
+                (OpKind::EccPaMixed, 160),
+                (OpKind::EccPd, 160),
+                (OpKind::EccPdFast, 256),
+            ] {
+                let program = compile(kind, bits, &cost);
+                let modulus = crate::coprocessor::sample_modulus(bits);
+                let mut slots: Vec<BigUint> = (0..program.slot_budget())
+                    .map(|i| BigUint::from((i % 251 + 1) as u64))
+                    .collect();
+                let report = engine.run(&cp, &modulus, &mut slots, program.ops());
+                let pricing = SequencePricing::new(&cost, bits, hierarchy);
+                assert_eq!(
+                    pricing.sequence_cycles(program.ops()),
+                    report.cycles,
+                    "{kind:?} at {bits} bits under {hierarchy:?}"
+                );
+            }
+        }
     }
 
     #[test]

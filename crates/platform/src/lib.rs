@@ -30,10 +30,13 @@
 //!   hazard-free neighbour density feeds the Type-B sequencer's operand
 //!   prefetch;
 //! * [`program`] — the typed program IR: authored [`program::Program`]s
-//!   are compiled ([`program::compile`]: slot validation, dead-temp
-//!   elimination, hazard-aware reordering) into
+//!   flow through an explicit [`program::PassPipeline`] (validate →
+//!   dead-temp-elim → list-schedule → optional superoptimizing search,
+//!   each pass leaving a [`program::PassTrace`]) into
 //!   [`program::CompiledProgram`]s that a [`program::ProgramCache`] hands
-//!   out once per `(OpKind, bits, cost-model)` key;
+//!   out once per `(OpKind, bits, cost-model)` key; the
+//!   [`program::FormulaDb`] registry derives the cheapest applicable
+//!   EFD formula per `(curve, cost model)`;
 //! * [`Platform`] — the MicroBlaze-level view: Type-A and Type-B control
 //!   hierarchies (Figs. 3 and 4), interrupt/accounting overheads, the
 //!   single [`Platform::execute`] path every composite operation flows
@@ -67,15 +70,18 @@ pub mod schedule;
 
 pub use coprocessor::{sample_modulus, Coprocessor, ModOpResult};
 pub use cost::{CostModel, ScheduleModel};
-pub use hierarchy::{Hierarchy, SequenceOp, SequenceReport};
+pub use hierarchy::{Hierarchy, SequenceOp, SequencePricing, SequenceReport};
 pub use platform::Platform;
+#[allow(deprecated)]
+pub use program::PassOutcome;
 pub use program::{
-    compile, compile_unoptimized, CompiledProgram, OpKind, PassOutcome, Program, ProgramBuilder,
-    ProgramCache, ProgramStats, Slot,
+    compile, compile_unoptimized, CompiledProgram, Formula, FormulaDb, OpKind, Pass, PassPipeline,
+    PassTrace, Program, ProgramBuilder, ProgramCache, ProgramStats, Slot,
 };
 pub use programs::{
-    count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence, ecc_pd_fast_sequence,
-    ecc_pd_sequence, fp6_mul_sequence, independent_neighbour_pairs, SlotArena, SlotOverflow,
-    ECC_SLOTS, FP6_MUL_SLOTS,
+    count_modadds, count_modmuls, ecc_pa_sequence, ecc_pd_sequence, fp6_mul_sequence,
+    independent_neighbour_pairs, SlotArena, SlotOverflow, ECC_SLOTS, FP6_MUL_SLOTS,
 };
+#[allow(deprecated)]
+pub use programs::{ecc_pa_mixed_sequence, ecc_pd_fast_sequence};
 pub use report::ExecutionReport;

@@ -19,7 +19,7 @@ use field::{Fp6Context, Fp6Element};
 use crate::coprocessor::Coprocessor;
 use crate::cost::CostModel;
 use crate::hierarchy::{Hierarchy, SequenceEngine};
-use crate::program::{CompiledProgram, OpKind, ProgramCache};
+use crate::program::{CompiledProgram, FormulaDb, OpKind, ProgramCache};
 use crate::report::ExecutionReport;
 
 /// The complete platform: MicroBlaze controller + multicore coprocessor.
@@ -572,26 +572,22 @@ impl Platform {
     /// Fetches (compiling at most once) the doubling and addition
     /// programs the scalar ladder will run on `curve` under the current
     /// cost-model knobs, plus whether the addition is the mixed sequence.
+    ///
+    /// The variants are no longer hard-coded: [`FormulaDb::best_for`]
+    /// derives the cheapest formula eligible under `(curve, cost model)`.
+    /// The ladder asks for [`OpKind::EccPaMixed`] because its addend is
+    /// always the affine base point (the capability the `madd` formula
+    /// requires); the doubling request carries no extra capability and the
+    /// database decides between `pd-general` and `dbl-2001-b` from the
+    /// curve's `a = -3` structure.
     fn ladder_programs(&self, curve: &Curve) -> (Arc<CompiledProgram>, Arc<CompiledProgram>, bool) {
-        let mixed = self.cost().uses_mixed_pa();
-        let fast_pd = self.cost().uses_fast_pd() && curve.a_is_minus_three();
+        let db = FormulaDb::builtin();
+        let pd = db.best_for(OpKind::EccPd, curve, self.cost());
+        let pa = db.best_for(OpKind::EccPaMixed, curve, self.cost());
         let bits = curve.fp().modulus().bit_len();
-        let pd_program = self.compiled(
-            if fast_pd {
-                OpKind::EccPdFast
-            } else {
-                OpKind::EccPd
-            },
-            bits,
-        );
-        let pa_program = self.compiled(
-            if mixed {
-                OpKind::EccPaMixed
-            } else {
-                OpKind::EccPaGeneral
-            },
-            bits,
-        );
+        let pd_program = self.compiled(pd.kind(), bits);
+        let pa_program = self.compiled(pa.kind(), bits);
+        let mixed = pa.kind() == OpKind::EccPaMixed;
         (pd_program, pa_program, mixed)
     }
 

@@ -7,11 +7,12 @@
 //!
 //! ```text
 //! Program  (authored: named operands, typed slots)
-//!    │  slot allocation / validation
-//!    │  dead-temp elimination               (uncalibrated programs only)
-//!    │  hazard-aware neighbour reordering   (uncalibrated programs only)
+//!    │  PassPipeline: validate
+//!    │                dead-temp-elim     (uncalibrated programs only)
+//!    │                list-schedule      (uncalibrated programs only)
+//!    │                search             (CostModel::uses_search only)
 //!    ▼
-//! CompiledProgram  (scheduled ops + ProgramStats + pass trace)
+//! CompiledProgram  (scheduled ops + ProgramStats + PassTrace per pass)
 //!    │  ProgramCache, keyed by (OpKind, bits, CostModel fingerprint)
 //!    ▼
 //! Platform::execute → SequenceEngine → scheduled cycles
@@ -20,10 +21,25 @@
 //! The four pre-existing sequences (`Fp6` multiplication, general and
 //! mixed ECC point addition, ECC point doubling) are **calibrated**: their
 //! stored step stream models the InsRom1 image whose cycle counts
-//! reproduce Table 2, so both optimization passes leave them untouched
-//! and the golden file pins them bit-identical. The fast `a = -3` doubling
-//! ([`OpKind::EccPdFast`]) is authored in derivation order and the
-//! compiler schedules it for maximum sequencer overlap.
+//! reproduce Table 2, so the deterministic optimization passes leave them
+//! untouched and the golden file pins them bit-identical. The fast
+//! `a = -3` doubling ([`OpKind::EccPdFast`]) is authored in derivation
+//! order and the compiler schedules it for maximum sequencer overlap.
+//!
+//! Two pieces go beyond faithful reproduction, toward what the paper's
+//! "on-the-fly sequence generation" gestured at:
+//!
+//! * the **superoptimizing search pass** ([`Pass::Search`], behind
+//!   [`CostModel::sequence_search`]) — a beam search over instruction
+//!   reorderings and slot reallocations, scored by
+//!   [`crate::SequencePricing`] (the exact accounting walk the executing
+//!   engine charges), accepted only when strictly cheaper than the
+//!   incoming schedule — it applies to *every* kind, calibrated ones
+//!   included, which is why the published calibration keeps it off;
+//! * the **formula database** ([`FormulaDb`]) — named EFD variants with
+//!   op-count and constraint metadata, from which the ladder *derives*
+//!   the best PA/PD sequence per `(curve, cost model)` instead of being
+//!   told through hard-coded dispatch.
 //!
 //! # Example
 //!
@@ -37,15 +53,16 @@
 //! assert_eq!(pd.stats().modmuls, 8); // a = -3 shortened doubling
 //! // The scheduler raised the hazard-free neighbour density the Type-B
 //! // sequencer prefetches across.
-//! let reorder = pd.passes().iter().find(|p| p.pass == "reorder").unwrap();
-//! assert!(reorder.pairs_after > reorder.pairs_before);
+//! let sched = pd.passes().iter().find(|p| p.pass == "list-schedule").unwrap();
+//! assert!(sched.pairs_after > sched.pairs_before);
+//! assert!(sched.cycles_after < sched.cycles_before);
 //! ```
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::cost::CostModel;
-use crate::hierarchy::SequenceOp;
+use crate::hierarchy::{Hierarchy, SequenceOp, SequencePricing};
 use crate::programs::{self, ECC_SLOTS, FP6_MUL_SLOTS};
 
 /// The composite (level-2) operations the platform can compile.
@@ -337,8 +354,9 @@ impl ProgramStats {
 /// What one compiler pass did to a program, kept on the
 /// [`CompiledProgram`] for traceability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PassOutcome {
-    /// Pass name (`"slot-check"`, `"dead-temp-elim"`, `"reorder"`).
+pub struct PassTrace {
+    /// Pass name ([`Pass::name`]: `"validate"`, `"dead-temp-elim"`,
+    /// `"list-schedule"`, `"search"`).
     pub pass: &'static str,
     /// Steps entering the pass.
     pub steps_before: usize,
@@ -348,14 +366,26 @@ pub struct PassOutcome {
     pub pairs_before: usize,
     /// Independent neighbour pairs leaving the pass.
     pub pairs_after: usize,
+    /// Scheduled Type-B cycles entering the pass, priced by
+    /// [`crate::SequencePricing`] at the compile's operand length.
+    pub cycles_before: u64,
+    /// Scheduled Type-B cycles leaving the pass.
+    pub cycles_after: u64,
 }
 
-impl PassOutcome {
+impl PassTrace {
     /// Returns `true` if the pass changed the program.
     pub fn changed(&self) -> bool {
-        self.steps_before != self.steps_after || self.pairs_before != self.pairs_after
+        self.steps_before != self.steps_after
+            || self.pairs_before != self.pairs_after
+            || self.cycles_before != self.cycles_after
     }
 }
+
+/// Former name of [`PassTrace`], kept so pre-pipeline call sites stay
+/// source-compatible.
+#[deprecated(note = "renamed to PassTrace when the pass pipeline became explicit")]
+pub type PassOutcome = PassTrace;
 
 /// A compiled level-2 program: validated, optimized and ready to execute
 /// any number of times via [`crate::Platform::execute`].
@@ -368,7 +398,7 @@ pub struct CompiledProgram {
     outputs: Vec<usize>,
     slot_budget: usize,
     stats: ProgramStats,
-    passes: Vec<PassOutcome>,
+    passes: Vec<PassTrace>,
 }
 
 impl CompiledProgram {
@@ -412,108 +442,232 @@ impl CompiledProgram {
     }
 
     /// What each pass did.
-    pub fn passes(&self) -> &[PassOutcome] {
+    pub fn passes(&self) -> &[PassTrace] {
         &self.passes
+    }
+
+    /// A stable 64-bit fingerprint of the compiled artifact (kind, operand
+    /// length, and the exact scheduled step stream) — the determinism pin:
+    /// compiling the same `(OpKind, bits, CostModel)` twice must produce
+    /// the same fingerprint, search pass included. Same FNV-1a fold as
+    /// [`CostModel::fingerprint`], so the value is stable across runs and
+    /// toolchains.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x100_0000_01b3)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let kind_tag = OpKind::ALL
+            .iter()
+            .position(|k| *k == self.kind)
+            .expect("every kind is in ALL") as u64;
+        h = eat(h, kind_tag);
+        h = eat(h, self.bits as u64);
+        for op in &self.ops {
+            let (tag, dst, a, b) = match *op {
+                SequenceOp::MontMul { dst, a, b } => (0u64, dst, a, b),
+                SequenceOp::ModAdd { dst, a, b } => (1, dst, a, b),
+                SequenceOp::ModSub { dst, a, b } => (2, dst, a, b),
+                SequenceOp::Copy { dst, src } => (3, dst, src, src),
+            };
+            h = eat(h, tag);
+            h = eat(h, dst as u64);
+            h = eat(h, a as u64);
+            h = eat(h, b as u64);
+        }
+        h
+    }
+}
+
+/// One named compiler pass of a [`PassPipeline`].
+///
+/// Every pass is deterministic and carries its own skip conditions (a
+/// skipped pass still records a [`PassTrace`], reporting no change), so a
+/// pipeline built once is valid for every kind:
+///
+/// * [`Pass::Validate`] — every referenced slot must sit inside the
+///   kind's layout budget; always runs, never rewrites.
+/// * [`Pass::DeadTempElim`] — drops steps whose result no later step
+///   (and no output) observes; skipped for calibrated kinds, whose step
+///   stream *is* the InsRom image the golden file pins.
+/// * [`Pass::ListSchedule`] — hazard-aware greedy list scheduling
+///   ([`reorder_for_overlap`]); skipped for calibrated kinds and under
+///   the sequential schedule (no overlap to win).
+/// * [`Pass::Search`] — the superoptimizing beam search over
+///   reorderings *and* slot reallocations, scored by
+///   [`crate::SequencePricing`]; runs only under
+///   [`CostModel::uses_search`] and keeps its candidate only when
+///   strictly cheaper than the incoming schedule, calibrated kinds
+///   included (that is the point: stop hand-authoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Slot-budget validation (formerly `"slot-check"`).
+    Validate,
+    /// Backward-liveness dead-step elimination.
+    DeadTempElim,
+    /// Greedy hazard-aware neighbour scheduling (formerly `"reorder"`).
+    ListSchedule,
+    /// Beam search over orderings and slot assignments.
+    Search,
+}
+
+impl Pass {
+    /// Stable name, used in [`PassTrace::pass`] and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Validate => "validate",
+            Pass::DeadTempElim => "dead-temp-elim",
+            Pass::ListSchedule => "list-schedule",
+            Pass::Search => "search",
+        }
+    }
+}
+
+/// An ordered list of named passes — the explicit compile API behind
+/// [`compile`].
+///
+/// ```
+/// use platform::program::{OpKind, PassPipeline, Program};
+/// use platform::CostModel;
+///
+/// let cost = CostModel::paper().with_search(true);
+/// let pipeline = PassPipeline::standard(&cost);
+/// let names: Vec<_> = pipeline.passes().iter().map(|p| p.name()).collect();
+/// assert_eq!(names, ["validate", "dead-temp-elim", "list-schedule", "search"]);
+/// let pd = pipeline.run(Program::author(OpKind::EccPdFast), 160, &cost);
+/// assert_eq!(pd.stats().modmuls, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassPipeline {
+    passes: Vec<Pass>,
+}
+
+impl PassPipeline {
+    /// The standard pipeline for the given cost model: validate,
+    /// dead-temp elimination, list scheduling, plus the search pass when
+    /// [`CostModel::uses_search`] selects it.
+    pub fn standard(cost: &CostModel) -> Self {
+        let mut passes = vec![Pass::Validate, Pass::DeadTempElim, Pass::ListSchedule];
+        if cost.uses_search() {
+            passes.push(Pass::Search);
+        }
+        PassPipeline { passes }
+    }
+
+    /// The validation-only pipeline: the authored steps are checked and
+    /// wrapped as-is (the "legacy hand-built sequence" baseline behind
+    /// [`compile_unoptimized`]).
+    pub fn minimal() -> Self {
+        PassPipeline {
+            passes: vec![Pass::Validate],
+        }
+    }
+
+    /// The ordered passes this pipeline runs.
+    pub fn passes(&self) -> &[Pass] {
+        &self.passes
+    }
+
+    /// Runs the pipeline over an authored program, producing the
+    /// compiled artifact with one [`PassTrace`] per pass. Trace cycles
+    /// are priced under the Type-B hierarchy (the one whose sequencer the
+    /// ordering passes optimize for) at the given operand length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program references a slot beyond its layout budget
+    /// (a microcode-generation bug in the authoring code, not a user
+    /// error).
+    pub fn run(&self, program: Program, bits: usize, cost: &CostModel) -> CompiledProgram {
+        let pricing = SequencePricing::new(cost, bits, Hierarchy::TypeB);
+        let Program {
+            kind,
+            mut ops,
+            operands,
+            outputs,
+            slot_budget,
+        } = program;
+        let mut passes = Vec::with_capacity(self.passes.len());
+        for pass in &self.passes {
+            let before = ProgramStats::of(&ops);
+            let cycles_before = pricing.sequence_cycles(&ops);
+            match pass {
+                Pass::Validate => {
+                    assert!(
+                        before.slot_high_water <= slot_budget,
+                        "{}: program references slot {} beyond its budget of {}",
+                        kind.name(),
+                        before.slot_high_water - 1,
+                        slot_budget
+                    );
+                }
+                Pass::DeadTempElim => {
+                    if !kind.order_is_calibrated() {
+                        ops = eliminate_dead_temps(ops, &outputs);
+                    }
+                }
+                Pass::ListSchedule => {
+                    if !kind.order_is_calibrated() && cost.is_pipelined() {
+                        ops = reorder_for_overlap(&ops);
+                    }
+                }
+                Pass::Search => {
+                    if cost.uses_search() {
+                        if let Some(found) = search_schedule(
+                            &ops,
+                            &operands,
+                            &outputs,
+                            slot_budget,
+                            &pricing,
+                            cost.search_beam_width.max(1),
+                        ) {
+                            ops = found;
+                        }
+                    }
+                }
+            }
+            let after = ProgramStats::of(&ops);
+            passes.push(PassTrace {
+                pass: pass.name(),
+                steps_before: before.steps,
+                steps_after: after.steps,
+                pairs_before: before.independent_neighbour_pairs,
+                pairs_after: after.independent_neighbour_pairs,
+                cycles_before,
+                cycles_after: pricing.sequence_cycles(&ops),
+            });
+        }
+        let stats = ProgramStats::of(&ops);
+        CompiledProgram {
+            kind,
+            bits,
+            ops,
+            operands,
+            outputs,
+            slot_budget,
+            stats,
+            passes,
+        }
     }
 }
 
 /// Compiles the program for `kind` at the given operand length through
-/// the full pass pipeline (slot validation, dead-temp elimination, and —
-/// for uncalibrated programs under the pipelined schedule — hazard-aware
-/// neighbour reordering).
+/// the standard pass pipeline ([`PassPipeline::standard`]): validation,
+/// dead-temp elimination, hazard-aware list scheduling and — when the
+/// cost model selects it — the superoptimizing search pass. Kept as a
+/// thin shim over the pipeline so existing call sites and the
+/// [`ProgramCache`] key stay source-compatible.
 pub fn compile(kind: OpKind, bits: usize, cost: &CostModel) -> CompiledProgram {
-    compile_inner(kind, bits, cost, true)
+    PassPipeline::standard(cost).run(Program::author(kind), bits, cost)
 }
 
-/// Compiles the program for `kind` with the optimization passes disabled:
-/// the authored steps are validated and wrapped as-is. This is the
-/// "legacy hand-built sequence" baseline the cycle-identity tests and the
-/// `program_cache` bench compare [`compile`] against.
+/// Compiles the program for `kind` with the optimization passes disabled
+/// ([`PassPipeline::minimal`]): the authored steps are validated and
+/// wrapped as-is. This is the "legacy hand-built sequence" baseline the
+/// cycle-identity tests and the `program_cache` bench compare
+/// [`compile`] against.
 pub fn compile_unoptimized(kind: OpKind, bits: usize, cost: &CostModel) -> CompiledProgram {
-    compile_inner(kind, bits, cost, false)
-}
-
-fn compile_inner(kind: OpKind, bits: usize, cost: &CostModel, optimize: bool) -> CompiledProgram {
-    let program = Program::author(kind);
-    let mut passes = Vec::new();
-
-    // Pass 1: slot allocation check — every referenced slot must sit
-    // inside the layout budget. A violation is a microcode-generation bug
-    // in the authoring code, not a user error.
-    let authored = ProgramStats::of(program.ops());
-    assert!(
-        authored.slot_high_water <= program.slot_budget,
-        "{}: program references slot {} beyond its budget of {}",
-        kind.name(),
-        authored.slot_high_water - 1,
-        program.slot_budget
-    );
-    passes.push(PassOutcome {
-        pass: "slot-check",
-        steps_before: authored.steps,
-        steps_after: authored.steps,
-        pairs_before: authored.independent_neighbour_pairs,
-        pairs_after: authored.independent_neighbour_pairs,
-    });
-
-    let Program {
-        kind,
-        mut ops,
-        operands,
-        outputs,
-        slot_budget,
-    } = program;
-
-    if optimize {
-        // Pass 2: dead-temp elimination — drop steps whose result no
-        // later step (and no output) observes. Calibrated programs skip
-        // it, like the reorder pass: their step stream *is* the InsRom
-        // image the golden file pins, redundant steps included, so
-        // bit-identity is structural rather than dependent on the
-        // authored sequences happening to contain no dead code.
-        let before = ProgramStats::of(&ops);
-        if !kind.order_is_calibrated() {
-            ops = eliminate_dead_temps(ops, &outputs);
-        }
-        let after = ProgramStats::of(&ops);
-        passes.push(PassOutcome {
-            pass: "dead-temp-elim",
-            steps_before: before.steps,
-            steps_after: after.steps,
-            pairs_before: before.independent_neighbour_pairs,
-            pairs_after: after.independent_neighbour_pairs,
-        });
-
-        // Pass 3: hazard-aware neighbour reordering — raise the density
-        // of hazard-free adjacent pairs the Type-B sequencer prefetches
-        // across. Calibrated programs keep their InsRom order; under the
-        // sequential schedule there is no overlap to win, so the authored
-        // order stands there too.
-        let before = after;
-        if !kind.order_is_calibrated() && cost.is_pipelined() {
-            ops = reorder_for_overlap(&ops);
-        }
-        let after = ProgramStats::of(&ops);
-        passes.push(PassOutcome {
-            pass: "reorder",
-            steps_before: before.steps,
-            steps_after: after.steps,
-            pairs_before: before.independent_neighbour_pairs,
-            pairs_after: after.independent_neighbour_pairs,
-        });
-    }
-
-    let stats = ProgramStats::of(&ops);
-    CompiledProgram {
-        kind,
-        bits,
-        ops,
-        operands,
-        outputs,
-        slot_budget,
-        stats,
-        passes,
-    }
+    PassPipeline::minimal().run(Program::author(kind), bits, cost)
 }
 
 /// Dead-temp elimination: backward liveness seeded by the output slots.
@@ -581,6 +735,281 @@ pub fn reorder_for_overlap(ops: &[SequenceOp]) -> Vec<SequenceOp> {
     }
     debug_assert_eq!(out.len(), n, "scheduler dropped steps");
     out
+}
+
+/// The value-level dataflow of a slot program: for each step, the steps
+/// whose *values* it consumes (true RAW dependencies only — WAR/WAW slot
+/// reuse is a false dependency the search removes by renaming), plus the
+/// bookkeeping the renamer needs to rebuild a slot program afterwards.
+struct ValueDag {
+    /// `deps[j]` = indices of the steps whose value step `j` reads.
+    deps: Vec<Vec<usize>>,
+    /// `value_sources[j]` = per operand of step `j`: `Ok(i)` reads step
+    /// `i`'s value, `Err(slot)` reads the external value `slot` held at
+    /// program start.
+    value_sources: Vec<[Result<usize, usize>; 2]>,
+    /// `readers[i]` = number of operand references to step `i`'s value.
+    readers: Vec<usize>,
+    /// `final_output_def[i]` = the output slot whose final value step `i`
+    /// produces, if any.
+    final_output_def: Vec<Option<usize>>,
+    /// Slots whose program-start value some step reads (must never be
+    /// reallocated as temporaries).
+    external_slots: std::collections::HashSet<usize>,
+}
+
+impl ValueDag {
+    /// Builds the dataflow of `ops` with `outputs` as the observable
+    /// slots. Ordering constraints beyond RAW: a step producing the final
+    /// value of an output slot is made to depend on every step that reads
+    /// that slot's *external* value, so renaming can write the output in
+    /// place without clobbering a start-of-program operand.
+    fn of(ops: &[SequenceOp], outputs: &[usize]) -> ValueDag {
+        let n = ops.len();
+        let mut last_def: HashMap<usize, usize> = HashMap::new();
+        let mut external_readers: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut dag = ValueDag {
+            deps: vec![Vec::new(); n],
+            value_sources: vec![[Err(0), Err(0)]; n],
+            readers: vec![0; n],
+            final_output_def: vec![None; n],
+            external_slots: std::collections::HashSet::new(),
+        };
+        for (j, op) in ops.iter().enumerate() {
+            let sources = op.sources();
+            for (k, &slot) in sources.iter().enumerate() {
+                match last_def.get(&slot) {
+                    Some(&i) => {
+                        dag.value_sources[j][k] = Ok(i);
+                        dag.readers[i] += 1;
+                        if !dag.deps[j].contains(&i) {
+                            dag.deps[j].push(i);
+                        }
+                    }
+                    None => {
+                        dag.value_sources[j][k] = Err(slot);
+                        dag.external_slots.insert(slot);
+                        external_readers.entry(slot).or_default().push(j);
+                    }
+                }
+            }
+            last_def.insert(op.dest(), j);
+        }
+        for &o in outputs {
+            if let Some(&w) = last_def.get(&o) {
+                dag.final_output_def[w] = Some(o);
+                // The in-place output write must wait for every reader of
+                // the slot's external value.
+                if let Some(readers) = external_readers.get(&o) {
+                    for &j in readers {
+                        if j != w && !dag.deps[w].contains(&j) {
+                            dag.deps[w].push(j);
+                        }
+                    }
+                }
+            }
+        }
+        dag
+    }
+
+    /// Value-level overlap eligibility, mirroring
+    /// [`SequenceOp::may_overlap`]: after renaming, a slot-level RAW
+    /// hazard exists between adjacent steps exactly when a value-level
+    /// one does (a temp slot is only reallocated once no pending reads of
+    /// its value remain), so scoring orders at the value level prices the
+    /// renamed program exactly.
+    fn may_overlap(&self, ops: &[SequenceOp], prev: usize, next: usize) -> bool {
+        !ops[prev].is_copy() && !ops[next].is_copy() && !self.deps[next].contains(&prev)
+    }
+}
+
+/// One surviving schedule prefix in the beam.
+#[derive(Clone)]
+struct BeamEntry {
+    /// Bitmask of scheduled steps.
+    mask: u128,
+    /// Scheduled step indices, in order.
+    order: Vec<u32>,
+    /// Cycles of the prefix under the engine's credit walk.
+    cycles: u64,
+    /// Last scheduled step, for the overlap credit of the next one.
+    prev: Option<u32>,
+}
+
+/// The superoptimizing search pass: beam search over topological orders
+/// of the value DAG (slot-reuse false dependencies removed), then a
+/// linear-scan slot reassignment rebuilding a legal program, accepted
+/// only when [`crate::SequencePricing`] prices it *strictly* cheaper than
+/// `ops` — ties keep the incoming schedule, so enabling the search can
+/// never worsen a program and golden rows stay bit-stable.
+///
+/// Returns `None` when no strictly cheaper schedule is found (or when the
+/// program exceeds the search's 128-step capacity or its slot budget
+/// during reassignment; the incoming schedule then stands).
+fn search_schedule(
+    ops: &[SequenceOp],
+    operands: &[(&'static str, usize)],
+    outputs: &[usize],
+    slot_budget: usize,
+    pricing: &SequencePricing,
+    beam_width: usize,
+) -> Option<Vec<SequenceOp>> {
+    let n = ops.len();
+    if n == 0 || n > 128 {
+        return None;
+    }
+    let dag = ValueDag::of(ops, outputs);
+    let order = beam_search_order(ops, &dag, pricing, beam_width);
+    let candidate = reassign_slots(ops, &order, &dag, operands, outputs, slot_budget)?;
+    (pricing.sequence_cycles(&candidate) < pricing.sequence_cycles(ops)).then_some(candidate)
+}
+
+/// Beam search for a cheap topological order of the value DAG, scored
+/// incrementally by the engine's credit walk (per-op price minus the
+/// overlap credit [`SequenceOp::may_overlap`] neighbours earn, capped by
+/// the predecessor's own duration and the running total). Deterministic:
+/// candidates are expanded in index order, deduplicated on
+/// `(mask, last step)` keeping the cheaper prefix, and ranked by
+/// `(cycles, order)` so ties break identically on every run.
+fn beam_search_order(
+    ops: &[SequenceOp],
+    dag: &ValueDag,
+    pricing: &SequencePricing,
+    beam_width: usize,
+) -> Vec<u32> {
+    let n = ops.len();
+    let mut beam = vec![BeamEntry {
+        mask: 0,
+        order: Vec::with_capacity(n),
+        cycles: 0,
+        prev: None,
+    }];
+    for _ in 0..n {
+        let mut candidates: Vec<BeamEntry> = Vec::new();
+        for entry in &beam {
+            for j in 0..n {
+                let bit = 1u128 << j;
+                if entry.mask & bit != 0 {
+                    continue;
+                }
+                if dag.deps[j].iter().any(|&d| entry.mask & (1u128 << d) == 0) {
+                    continue; // not ready: an input value is unscheduled
+                }
+                let mut cycles = entry.cycles;
+                if let Some(p) = entry.prev {
+                    if dag.may_overlap(ops, p as usize, j) {
+                        let credit = pricing
+                            .overlap_budget()
+                            .min(pricing.op_cycles(&ops[p as usize]))
+                            .min(cycles);
+                        cycles -= credit;
+                    }
+                }
+                cycles += pricing.op_cycles(&ops[j]);
+                let mask = entry.mask | bit;
+                match candidates
+                    .iter_mut()
+                    .find(|c| c.mask == mask && c.prev == Some(j as u32))
+                {
+                    Some(dup) if dup.cycles <= cycles => {}
+                    Some(dup) => {
+                        dup.cycles = cycles;
+                        dup.order = entry.order.clone();
+                        dup.order.push(j as u32);
+                    }
+                    None => {
+                        let mut order = entry.order.clone();
+                        order.push(j as u32);
+                        candidates.push(BeamEntry {
+                            mask,
+                            order,
+                            cycles,
+                            prev: Some(j as u32),
+                        });
+                    }
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.cycles.cmp(&b.cycles).then_with(|| a.order.cmp(&b.order)));
+        candidates.truncate(beam_width);
+        beam = candidates;
+    }
+    beam.into_iter()
+        .next()
+        .expect("a DAG over n steps admits a topological order")
+        .order
+}
+
+/// Rebuilds a slot program for the searched order: operand and output
+/// slots are protected (outputs receive exactly their final value, in
+/// place), every other value lives in a recycled temporary drawn from the
+/// unprotected slots below the layout budget, freed when its last reader
+/// has been scheduled. Returns `None` if the order needs more live
+/// temporaries than the budget holds (the caller then keeps the incoming
+/// schedule).
+fn reassign_slots(
+    ops: &[SequenceOp],
+    order: &[u32],
+    dag: &ValueDag,
+    operands: &[(&'static str, usize)],
+    outputs: &[usize],
+    slot_budget: usize,
+) -> Option<Vec<SequenceOp>> {
+    let mut protected: std::collections::HashSet<usize> = dag.external_slots.clone();
+    protected.extend(operands.iter().map(|&(_, s)| s));
+    protected.extend(outputs.iter().copied());
+    // Free pool, lowest slot first for a deterministic assignment.
+    let mut pool: std::collections::BTreeSet<usize> = (0..slot_budget)
+        .filter(|s| !protected.contains(s))
+        .collect();
+    let mut value_slot: Vec<Option<usize>> = vec![None; ops.len()];
+    let mut pending_reads: Vec<usize> = dag.readers.clone();
+    let mut out = Vec::with_capacity(order.len());
+    for &j in order {
+        let j = j as usize;
+        let resolve = |k: usize, value_slot: &Vec<Option<usize>>| -> usize {
+            match dag.value_sources[j][k] {
+                Ok(i) => value_slot[i].expect("producer scheduled before consumer"),
+                Err(slot) => slot,
+            }
+        };
+        let a = resolve(0, &value_slot);
+        let b = resolve(1, &value_slot);
+        // Release producer slots whose last pending read this step was —
+        // after resolving both operands, so a producer read twice here
+        // stays allocated until both references are counted.
+        for k in 0..2 {
+            if let Ok(i) = dag.value_sources[j][k] {
+                pending_reads[i] -= 1;
+                if pending_reads[i] == 0 && dag.final_output_def[i].is_none() {
+                    if let Some(freed) = value_slot[i] {
+                        pool.insert(freed);
+                    }
+                }
+            }
+        }
+        let dst = match dag.final_output_def[j] {
+            Some(o) => o,
+            None => {
+                let slot = *pool.iter().next()?;
+                pool.remove(&slot);
+                slot
+            }
+        };
+        value_slot[j] = Some(dst);
+        // A value nothing reads (possible in calibrated streams the
+        // dead-temp pass never touches) frees its slot immediately.
+        if pending_reads[j] == 0 && dag.final_output_def[j].is_none() {
+            pool.insert(dst);
+        }
+        out.push(match ops[j] {
+            SequenceOp::MontMul { .. } => SequenceOp::MontMul { dst, a, b },
+            SequenceOp::ModAdd { .. } => SequenceOp::ModAdd { dst, a, b },
+            SequenceOp::ModSub { .. } => SequenceOp::ModSub { dst, a, b },
+            SequenceOp::Copy { .. } => SequenceOp::Copy { dst, src: a },
+        });
+    }
+    Some(out)
 }
 
 /// Cache key: which program, at which operand length, under which cost
@@ -681,6 +1110,152 @@ impl ProgramCache {
         state.programs.clear();
         state.hits = 0;
         state.misses = 0;
+    }
+}
+
+/// One named formula variant in the [`FormulaDb`]: which [`OpKind`]
+/// program implements it, its operation counts (taken from the authored
+/// program, so they cannot drift from the sequences themselves), and the
+/// constraints under which it is usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Formula {
+    name: &'static str,
+    kind: OpKind,
+    modmuls: usize,
+    modaddsubs: usize,
+    requires_affine_addend: bool,
+    requires_a_minus_three: bool,
+}
+
+impl Formula {
+    /// The registry name (EFD identifier where one exists, e.g.
+    /// `"madd"`, `"dbl-2001-b"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The compiled program kind implementing this formula.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Montgomery multiplications in the authored sequence.
+    pub fn modmuls(&self) -> usize {
+        self.modmuls
+    }
+
+    /// Modular additions plus subtractions in the authored sequence.
+    pub fn modaddsubs(&self) -> usize {
+        self.modaddsubs
+    }
+
+    /// Returns `true` if the formula needs its addend affine (`Z2 = 1`,
+    /// plain-domain coordinates written once by the MicroBlaze).
+    pub fn requires_affine_addend(&self) -> bool {
+        self.requires_affine_addend
+    }
+
+    /// Returns `true` if the formula is only valid on curves with
+    /// `a = -3`.
+    pub fn requires_a_minus_three(&self) -> bool {
+        self.requires_a_minus_three
+    }
+}
+
+/// The formula database: named EFD variants with op-count and constraint
+/// metadata, from which [`FormulaDb::best_for`] *derives* the cheapest
+/// applicable PA/PD sequence per `(curve, cost model)` — replacing the
+/// hard-coded `fast_pd` / `mixed_coordinate_pa` dispatch that used to
+/// tell the ladder which sequence to run. Mirrors the registry style of
+/// `ecc::Curve::by_name`.
+///
+/// ```
+/// use ecc::Curve;
+/// use platform::program::{FormulaDb, OpKind};
+/// use platform::CostModel;
+///
+/// let db = FormulaDb::builtin();
+/// let p256 = Curve::by_name("p256").unwrap(); // a = -3
+/// let pd = db.best_for(OpKind::EccPd, &p256, &CostModel::paper());
+/// assert_eq!(pd.name(), "dbl-2001-b"); // derived, not hard-coded
+/// let k256 = Curve::by_name("secp256k1").unwrap(); // a = 0
+/// let pd = db.best_for(OpKind::EccPd, &k256, &CostModel::paper());
+/// assert_eq!(pd.name(), "pd-general");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormulaDb {
+    formulas: Vec<Formula>,
+}
+
+impl FormulaDb {
+    /// The built-in registry covering every compilable kind, constructed
+    /// once: op counts are read off the authored programs at first use.
+    pub fn builtin() -> &'static FormulaDb {
+        static DB: OnceLock<FormulaDb> = OnceLock::new();
+        DB.get_or_init(|| {
+            let entry = |name, kind: OpKind, affine, a_minus_three| {
+                let stats = Program::author(kind).stats();
+                Formula {
+                    name,
+                    kind,
+                    modmuls: stats.modmuls,
+                    modaddsubs: stats.modaddsubs(),
+                    requires_affine_addend: affine,
+                    requires_a_minus_three: a_minus_three,
+                }
+            };
+            FormulaDb {
+                formulas: vec![
+                    entry("karatsuba-fp6", OpKind::Fp6Mul, false, false),
+                    entry("pa-general", OpKind::EccPaGeneral, false, false),
+                    entry("madd", OpKind::EccPaMixed, true, false),
+                    entry("pd-general", OpKind::EccPd, false, false),
+                    entry("dbl-2001-b", OpKind::EccPdFast, false, true),
+                ],
+            }
+        })
+    }
+
+    /// Every registered formula, in registration order.
+    pub fn formulas(&self) -> &[Formula] {
+        &self.formulas
+    }
+
+    /// Looks a formula up by registry name.
+    pub fn by_name(&self, name: &str) -> Option<&Formula> {
+        self.formulas.iter().find(|f| f.name == name)
+    }
+
+    /// The cheapest formula applicable to the request: `op` states what
+    /// the caller is computing *and* what it can provide (asking for
+    /// [`OpKind::EccPaMixed`] asserts the addend is affine; asking for a
+    /// doubling leaves the variant choice to the database), `curve`
+    /// supplies the structural constraints (`a = -3`), and `cost`
+    /// supplies the sequence-level knobs that gate the beyond-general
+    /// variants for the ablation baselines. Eligible formulas are ranked
+    /// by `(modmuls, modaddsubs)`; ties keep registration order, so the
+    /// choice is deterministic.
+    pub fn best_for(&self, op: OpKind, curve: &ecc::Curve, cost: &CostModel) -> &Formula {
+        let family: &[OpKind] = match op {
+            OpKind::Fp6Mul => &[OpKind::Fp6Mul],
+            OpKind::EccPaGeneral | OpKind::EccPaMixed => {
+                &[OpKind::EccPaGeneral, OpKind::EccPaMixed]
+            }
+            OpKind::EccPd | OpKind::EccPdFast => &[OpKind::EccPd, OpKind::EccPdFast],
+        };
+        self.formulas
+            .iter()
+            .filter(|f| family.contains(&f.kind))
+            .filter(|f| {
+                // An affine-addend formula is usable only when the caller
+                // asserted it has one, and while the mixed-PA layer is on.
+                !f.requires_affine_addend || (op == OpKind::EccPaMixed && cost.uses_mixed_pa())
+            })
+            .filter(|f| {
+                !f.requires_a_minus_three || (curve.a_is_minus_three() && cost.uses_fast_pd())
+            })
+            .min_by_key(|f| (f.modmuls, f.modaddsubs))
+            .expect("every family has an unconstrained general formula")
     }
 }
 
@@ -832,5 +1407,205 @@ mod tests {
             assert_eq!(unopt.ops(), Program::author(kind).ops(), "{kind}");
             assert_eq!(unopt.passes().len(), 1, "{kind}: slot-check only");
         }
+    }
+
+    #[test]
+    fn standard_pipeline_names_its_passes_in_order() {
+        let names = |cost: &CostModel| -> Vec<&'static str> {
+            PassPipeline::standard(cost)
+                .passes()
+                .iter()
+                .map(|p| p.name())
+                .collect()
+        };
+        let base = CostModel::paper();
+        assert_eq!(
+            names(&base),
+            ["validate", "dead-temp-elim", "list-schedule"]
+        );
+        assert_eq!(
+            names(&base.with_search(true)),
+            ["validate", "dead-temp-elim", "list-schedule", "search"]
+        );
+        // The search pass needs the pipelined scorer: sequential models
+        // keep the three-pass pipeline even with the knob on.
+        assert_eq!(
+            names(&CostModel::paper_sequential().with_search(true)),
+            ["validate", "dead-temp-elim", "list-schedule"]
+        );
+        assert_eq!(
+            PassPipeline::minimal()
+                .passes()
+                .iter()
+                .map(|p| p.name())
+                .collect::<Vec<_>>(),
+            ["validate"]
+        );
+    }
+
+    #[test]
+    fn search_preserves_output_state_and_never_costs_more() {
+        // For every kind, the searched program must leave the same values
+        // in the output slots as the authored one, cost no more under the
+        // exact scorer, and keep operation counts intact.
+        let cost = CostModel::paper().with_search(true);
+        let authored_cost = CostModel::paper();
+        for kind in OpKind::ALL {
+            let bits = 160;
+            let searched = compile(kind, bits, &cost);
+            let authored = compile(kind, bits, &authored_cost);
+            assert_eq!(
+                searched.stats().modmuls,
+                authored.stats().modmuls,
+                "{kind}: search must not change the formula"
+            );
+            let pricing = SequencePricing::new(&cost, bits, Hierarchy::TypeB);
+            let searched_cycles = pricing.sequence_cycles(searched.ops());
+            let authored_cycles = pricing.sequence_cycles(authored.ops());
+            assert!(
+                searched_cycles <= authored_cycles,
+                "{kind}: searched {searched_cycles} > authored {authored_cycles}"
+            );
+            let slots = kind.slot_budget();
+            let mut a = probe_slots(slots);
+            let mut b = probe_slots(slots);
+            run(authored.ops(), &mut a);
+            run(searched.ops(), &mut b);
+            for &o in Program::author(kind).outputs() {
+                assert_eq!(a[o], b[o], "{kind}: output slot {o} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn search_discovers_a_win_on_at_least_one_kind() {
+        let cost = CostModel::paper().with_search(true);
+        let pricing = SequencePricing::new(&cost, 160, Hierarchy::TypeB);
+        let improved = OpKind::ALL.iter().any(|&kind| {
+            let searched = compile(kind, 160, &cost);
+            let authored = compile(kind, 160, &CostModel::paper());
+            pricing.sequence_cycles(searched.ops()) < pricing.sequence_cycles(authored.ops())
+        });
+        assert!(improved, "beam search found no improvement on any kind");
+    }
+
+    #[test]
+    fn search_is_deterministic_across_recompiles() {
+        for width in [1, 4, 8] {
+            let cost = CostModel::paper().with_search(true).with_beam_width(width);
+            for kind in OpKind::ALL {
+                let a = compile(kind, 160, &cost);
+                let b = compile(kind, 160, &cost);
+                assert_eq!(a.ops(), b.ops(), "{kind} w={width}");
+                assert_eq!(a.fingerprint(), b.fingerprint(), "{kind} w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_kind_bits_and_step_stream() {
+        let cost = CostModel::paper();
+        let base = compile(OpKind::EccPdFast, 160, &cost);
+        assert_ne!(
+            base.fingerprint(),
+            compile(OpKind::EccPd, 160, &cost).fingerprint(),
+            "kind must be part of the fingerprint"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            compile(OpKind::EccPdFast, 256, &cost).fingerprint(),
+            "bits must be part of the fingerprint"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            compile_unoptimized(OpKind::EccPdFast, 160, &cost).fingerprint(),
+            "the scheduled and authored step streams must hash apart"
+        );
+    }
+
+    #[test]
+    fn pass_traces_record_the_scored_cycles() {
+        let compiled = compile(OpKind::EccPdFast, 160, &CostModel::paper());
+        let sched = compiled
+            .passes()
+            .iter()
+            .find(|p| p.pass == "list-schedule")
+            .expect("list-schedule trace");
+        assert!(
+            sched.cycles_after < sched.cycles_before,
+            "scheduling the fast doubling must be a scored win: {} !< {}",
+            sched.cycles_after,
+            sched.cycles_before
+        );
+        // Passes that leave the program alone must also leave the score.
+        let validate = &compiled.passes()[0];
+        assert_eq!(validate.pass, "validate");
+        assert_eq!(validate.cycles_before, validate.cycles_after);
+        assert!(!validate.changed());
+    }
+
+    #[test]
+    fn formula_db_registers_the_efd_variants_with_authored_counts() {
+        let db = FormulaDb::builtin();
+        let counts: Vec<(&str, usize, usize)> = db
+            .formulas()
+            .iter()
+            .map(|f| (f.name(), f.modmuls(), f.modaddsubs()))
+            .collect();
+        assert_eq!(
+            counts,
+            [
+                ("karatsuba-fp6", 18, 64),
+                ("pa-general", 16, 13),
+                ("madd", 13, 11),
+                ("pd-general", 10, 15),
+                ("dbl-2001-b", 8, 12),
+            ]
+        );
+        assert_eq!(db.by_name("madd").unwrap().kind(), OpKind::EccPaMixed);
+        assert!(db.by_name("madd").unwrap().requires_affine_addend());
+        assert!(db.by_name("dbl-2001-b").unwrap().requires_a_minus_three());
+        assert!(db.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn formula_db_derives_the_variant_from_curve_and_cost() {
+        let db = FormulaDb::builtin();
+        let p256 = ecc::Curve::by_name("p256").unwrap(); // a = -3
+        let k256 = ecc::Curve::by_name("secp256k1").unwrap(); // a = 0
+        let paper = CostModel::paper();
+        // Doubling: derived from curve structure, gated by the cost knob.
+        assert_eq!(
+            db.best_for(OpKind::EccPd, &p256, &paper).name(),
+            "dbl-2001-b"
+        );
+        assert_eq!(
+            db.best_for(OpKind::EccPd, &k256, &paper).name(),
+            "pd-general"
+        );
+        assert_eq!(
+            db.best_for(OpKind::EccPd, &p256, &paper.with_fast_pd(false))
+                .name(),
+            "pd-general"
+        );
+        // Addition: madd only when the caller asserts the affine addend.
+        assert_eq!(
+            db.best_for(OpKind::EccPaMixed, &p256, &paper).name(),
+            "madd"
+        );
+        assert_eq!(
+            db.best_for(OpKind::EccPaGeneral, &p256, &paper).name(),
+            "pa-general"
+        );
+        assert_eq!(
+            db.best_for(OpKind::EccPaMixed, &p256, &paper.with_mixed_pa(false))
+                .name(),
+            "pa-general"
+        );
+        // Fp6 is its own single-entry family.
+        assert_eq!(
+            db.best_for(OpKind::Fp6Mul, &p256, &paper).name(),
+            "karatsuba-fp6"
+        );
     }
 }

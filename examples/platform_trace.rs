@@ -8,9 +8,8 @@ use bignum::BigUint;
 use ceilidh::CeilidhParams;
 use platform::isa::{Core, MicroOp, Program};
 use platform::{
-    compile, count_modadds, count_modmuls, ecc_pa_mixed_sequence, ecc_pa_sequence,
-    ecc_pd_fast_sequence, ecc_pd_sequence, fp6_mul_sequence, Coprocessor, CostModel, Hierarchy,
-    OpKind, Platform,
+    compile, count_modadds, count_modmuls, Coprocessor, CostModel, FormulaDb, Hierarchy, OpKind,
+    Platform,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -51,33 +50,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.cycles, result.instructions, result.memory_accesses
     );
 
-    // --- Level 2: the sequences stored in InsRom1. -------------------------
-    println!("\n== level 2: InsRom1 sequences ==");
-    for (name, seq) in [
-        ("Fp6 (T6) multiplication", fp6_mul_sequence()),
-        ("ECC point addition (general)", ecc_pa_sequence()),
-        (
-            "ECC point addition (mixed, ladder)",
-            ecc_pa_mixed_sequence(),
-        ),
-        ("ECC point doubling (general)", ecc_pd_sequence()),
-        ("ECC point doubling (fast, a=-3)", ecc_pd_fast_sequence()),
-    ] {
+    // --- Level 2: the formula database behind the InsRom1 sequences. -------
+    println!("\n== level 2: formula database (InsRom1 sequences) ==");
+    for formula in FormulaDb::builtin().formulas() {
+        let seq = platform::program::Program::author(formula.kind()).into_ops();
         println!(
-            "{name}: {} steps = {} MM + {} MA/MS",
+            "{:<14} ({}): {} steps = {} MM + {} MA/MS",
+            formula.name(),
+            formula.kind(),
             seq.len(),
             count_modmuls(&seq),
             count_modadds(&seq)
         );
     }
+    let curve = ecc::Curve::p160_reproduction()?;
+    let db = FormulaDb::builtin();
+    println!(
+        "derived for {} under the paper calibration: PA -> {}, PD -> {}",
+        curve.name(),
+        db.best_for(OpKind::EccPaMixed, &curve, &CostModel::paper())
+            .name(),
+        db.best_for(OpKind::EccPd, &curve, &CostModel::paper())
+            .name()
+    );
 
-    // --- Level 2: the typed-IR compile pipeline + program cache. -----------
-    println!("\n== level 2: compile pipeline (Program -> passes -> CompiledProgram) ==");
+    // --- Level 2: the pass pipeline + program cache. -----------------------
+    println!("\n== level 2: pass pipeline (Program -> passes -> CompiledProgram) ==");
     let compiled = compile(OpKind::EccPdFast, 160, &CostModel::paper());
     for pass in compiled.passes() {
         println!(
-            "pass {:<14} steps {:>2} -> {:<2} prefetch pairs {:>2} -> {:<2}",
-            pass.pass, pass.steps_before, pass.steps_after, pass.pairs_before, pass.pairs_after
+            "pass {:<14} steps {:>2} -> {:<2} prefetch pairs {:>2} -> {:<2} scored cycles {:>5} -> {:<5}",
+            pass.pass,
+            pass.steps_before,
+            pass.steps_after,
+            pass.pairs_before,
+            pass.pairs_after,
+            pass.cycles_before,
+            pass.cycles_after
         );
     }
     let plat_cache = Platform::new(CostModel::paper(), 4, Hierarchy::TypeB);

@@ -282,6 +282,8 @@ macro_rules! prop_assert {
 }
 
 /// Asserts equality inside a `proptest!` body, failing the current case.
+/// Like upstream, an optional trailing format message is appended to the
+/// mismatch report.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -290,6 +292,17 @@ macro_rules! prop_assert_eq {
             return ::core::result::Result::Err(format!(
                 "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
                 left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                left,
+                right,
+                format!($($fmt)*)
             ));
         }
     }};
@@ -304,6 +317,16 @@ macro_rules! prop_assert_ne {
             return ::core::result::Result::Err(format!(
                 "assertion failed: `left != right` (both `{:?}`)",
                 left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left != *right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `left != right` (both `{:?}`)\n{}",
+                left,
+                format!($($fmt)*)
             ));
         }
     }};
