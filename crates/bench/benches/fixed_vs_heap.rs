@@ -119,6 +119,7 @@ fn secs_per_iter<T, F: FnMut() -> T>(mut f: F) -> f64 {
 /// Measures the fixed-over-heap speedups and merges them (×100, rounded)
 /// into the flat JSON report at `path`, preserving any keys already there.
 fn emit_speedup_report(path: &str) {
+    let path = bench::json::report_path(path);
     let f = Fixture::new();
     let montmul = secs_per_iter(|| f.heap.mont_mul(&f.a_big, &f.b_big))
         / secs_per_iter(|| f.ctx().mont_mul(&f.a_fix, &f.b_fix));
@@ -131,7 +132,7 @@ fn emit_speedup_report(path: &str) {
     });
     println!("fixed-over-heap speedup: montmul_256 {montmul:.2}x, scalar_mul_256 {ladder:.2}x");
 
-    let mut pairs = std::fs::read_to_string(path)
+    let mut pairs = std::fs::read_to_string(&path)
         .ok()
         .and_then(|text| bench::json::parse_object(&text).ok())
         .unwrap_or_default();

@@ -317,7 +317,15 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Informational rows ride along in the same report file but are
+    // never gated: `info_` keys from the report binary and the speedup
+    // ratios the Criterion harnesses merge in (host-dependent, so no
+    // golden value can pin them).
+    const INFORMATIONAL_PREFIXES: [&str; 4] = ["info_", "fixed_vs_heap_", "ladder_", "mont_batch_"];
     for (name, _) in &measured {
+        if INFORMATIONAL_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            continue;
+        }
         if !expected.iter().any(|row| &row.name == name) {
             failures.push(format!(
                 "metric {name} not in golden file — regenerate with --write-golden"

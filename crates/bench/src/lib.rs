@@ -108,6 +108,23 @@ pub mod json {
         pub tol_pct: Option<f64>,
     }
 
+    /// Resolves a `BENCH_REPORT_JSON` value to the file every producer
+    /// shares. `cargo bench` runs harnesses with the *package* directory
+    /// (`crates/bench/`) as cwd while `cargo run` binaries keep the
+    /// caller's cwd (the workspace root in CI), so a relative path would
+    /// split the report across two files. Relative paths are therefore
+    /// anchored at the workspace root; absolute paths pass through.
+    pub fn report_path(path: &str) -> std::path::PathBuf {
+        let p = std::path::Path::new(path);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(p)
+        }
+    }
+
     /// Renders `pairs` as a pretty-printed flat JSON object.
     pub fn write_object(pairs: &[(String, u64)]) -> String {
         let body = pairs

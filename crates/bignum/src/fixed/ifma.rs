@@ -1,0 +1,405 @@
+//! AVX-512 IFMA radix-2^52 batched Montgomery kernels for 256-bit moduli.
+//!
+//! Both kernels compute, per lane, exactly the value the serial CIOS
+//! [`mont_mul`](super::MontgomeryContext::mont_mul) produces: `a·b·2^-256
+//! mod p`, canonical (`< p`). The canonical residue is unique, so "same
+//! mathematical value, fully reduced" *is* bit-identity with the scalar
+//! path — the differential tests in `montgomery.rs` and the batch
+//! proptests pin this.
+//!
+//! The radix-52 trick: `vpmadd52{lo,hi}` multiply the **low 52 bits** of
+//! each 64-bit lane and accumulate the 104-bit product's halves, so a
+//! 256-bit value becomes five 52-bit digits and one REDC round needs only
+//! 20 madds + a handful of cheap ops — no carry propagation inside the
+//! round at all, because 52-bit digits leave 12 headroom bits in every
+//! 64-bit accumulator word.
+//!
+//! Domain correction happens *inside* the multiplication: five radix-2^52
+//! REDC rounds divide by `2^260`, not the `2^256` the rest of the backend
+//! uses, so `b` is pre-scaled by `2^4` during digit extraction
+//! (`b·16 < 2^260` still fits five digits) and a single REDC pass lands
+//! directly in the shared `2^256` Montgomery domain.
+//!
+//! Two shapes, picked by block size in [`mont_mul_batch_slice`]:
+//!
+//! - **8 lanes, one value per zmm lane** ([`mont_mul_batch8`]): the plain
+//!   vectorization, 100 madds per call. Inputs move between lane-major
+//!   `Uint<4>` arrays and limb-major vectors with in-register
+//!   `vpermt2q` transposes — scalar stores followed by 512-bit loads
+//!   would stall on store-forwarding.
+//! - **4 lanes, one value per lane *pair*** ([`mont_mul_batch4`]): even
+//!   lanes run the `a·b` stream, odd lanes the `m·p` stream, cutting the
+//!   madd count to 60 for half-size blocks; one in-lane pair swap + add
+//!   per round rebuilds the true `t[0]` to derive `m` and the carry.
+//!
+//! On the measured host (Xeon with a single 512-bit FMA port) the 8-lane
+//! kernel is throughput-bound on that port at ~1 madd/cycle; the 4-lane
+//! kernel is front-end/port-pressure bound somewhat above its madd count.
+
+use super::Uint;
+use core::arch::x86_64::*;
+
+/// Low-52-bit mask: digits of the radix-2^52 representation.
+const M52: u64 = (1u64 << 52) - 1;
+
+/// True when the running CPU supports the IFMA kernels.
+#[inline]
+pub(crate) fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512ifma")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+}
+
+/// Packs four 64-bit limbs into five 52-bit digits (little-endian).
+pub(crate) fn pack52(l: &[u64; 4]) -> [u64; 5] {
+    [
+        l[0] & M52,
+        ((l[0] >> 52) | (l[1] << 12)) & M52,
+        ((l[1] >> 40) | (l[2] << 24)) & M52,
+        ((l[2] >> 28) | (l[3] << 36)) & M52,
+        l[3] >> 16,
+    ]
+}
+
+/// Montgomery-multiplies `a[..n]` by `b[..n]` lane-wise into `out[..n]`
+/// for a 256-bit modulus, running full blocks of 8 through the 8-lane
+/// kernel and a trailing block of exactly 4 through the pair-split
+/// kernel. Returns how many leading lanes were processed; the caller
+/// finishes the `< 4`-lane tail serially.
+///
+/// Caller must have checked [`available`]; operands must be reduced.
+pub(crate) fn mont_mul_batch_slice(
+    a: &[Uint<4>],
+    b: &[Uint<4>],
+    out: &mut [Uint<4>],
+    p_limbs: &[u64; 4],
+    n0_inv: u64,
+) -> usize {
+    debug_assert!(available());
+    let n = a.len().min(b.len()).min(out.len());
+    let p52 = pack52(p_limbs);
+    // p·p' ≡ -1 (mod 2^64) implies the same congruence mod 2^52, so the
+    // radix-52 inverse is just the low 52 bits of the radix-64 one.
+    let p_inv52 = n0_inv & M52;
+    let mut done = 0;
+    // SAFETY: `available()` was checked by the caller (debug-asserted
+    // above); every block is in bounds of all three slices.
+    unsafe {
+        while done + 8 <= n {
+            let a8 = &*(a.as_ptr().add(done) as *const [Uint<4>; 8]);
+            let b8 = &*(b.as_ptr().add(done) as *const [Uint<4>; 8]);
+            *(out.as_mut_ptr().add(done) as *mut [Uint<4>; 8]) =
+                mont_mul_batch8(a8, b8, &p52, p_inv52);
+            done += 8;
+        }
+        if done + 4 <= n {
+            let a4 = &*(a.as_ptr().add(done) as *const [Uint<4>; 4]);
+            let b4 = &*(b.as_ptr().add(done) as *const [Uint<4>; 4]);
+            *(out.as_mut_ptr().add(done) as *mut [Uint<4>; 4]) =
+                mont_mul_batch4(a4, b4, &p52, p_inv52);
+            done += 4;
+        }
+    }
+    done
+}
+
+/// One vectorized radix-2^52 REDC over 8 lanes: returns `a·b·2^-260 mod p`
+/// per lane as normalized 52-bit digits, canonical (`< p`).
+///
+/// # Safety
+/// Requires avx512ifma + avx512vl at runtime.
+#[target_feature(enable = "avx512ifma,avx512vl")]
+unsafe fn redc52x8(
+    a: &[__m512i; 5],
+    b: &[__m512i; 5],
+    p: &[__m512i; 5],
+    p_inv: __m512i,
+) -> [__m512i; 5] {
+    let zero = _mm512_setzero_si512();
+    let mask52 = _mm512_set1_epi64(M52 as i64);
+    let mut t = [zero; 6];
+    for &ai in a {
+        for j in 0..5 {
+            t[j] = _mm512_madd52lo_epu64(t[j], ai, b[j]);
+            t[j + 1] = _mm512_madd52hi_epu64(t[j + 1], ai, b[j]);
+        }
+        // m = low52(t[0]) * p_inv mod 2^52 (madd52lo reads only the low
+        // 52 bits of each operand, so no masking is needed).
+        let m = _mm512_madd52lo_epu64(zero, t[0], p_inv);
+        for j in 0..5 {
+            t[j] = _mm512_madd52lo_epu64(t[j], m, p[j]);
+            t[j + 1] = _mm512_madd52hi_epu64(t[j + 1], m, p[j]);
+        }
+        let carry = _mm512_srli_epi64(t[0], 52);
+        t[1] = _mm512_add_epi64(t[1], carry);
+        for j in 0..5 {
+            t[j] = t[j + 1];
+        }
+        t[5] = zero;
+    }
+    // Normalize to strict 52-bit digits.
+    let mut out = [zero; 5];
+    let mut carry = zero;
+    for j in 0..5 {
+        let v = _mm512_add_epi64(t[j], carry);
+        out[j] = _mm512_and_epi64(v, mask52);
+        carry = _mm512_srli_epi64(v, 52);
+    }
+    // Result < 2p: conditional subtract via sign-bit borrow propagation.
+    let mut sub = [zero; 5];
+    let mut borrow = zero;
+    for j in 0..5 {
+        let v = _mm512_sub_epi64(_mm512_sub_epi64(out[j], p[j]), borrow);
+        borrow = _mm512_srli_epi64(v, 63);
+        sub[j] = _mm512_and_epi64(v, mask52);
+    }
+    // borrow lane == 0 -> out >= p -> take the subtracted value.
+    let ge = _mm512_cmpeq_epu64_mask(borrow, zero);
+    for j in 0..5 {
+        out[j] = _mm512_mask_blend_epi64(ge, out[j], sub[j]);
+    }
+    out
+}
+
+/// 8-lane batched Montgomery multiplication: in-register 8×4 transpose,
+/// 52-bit digit extraction with `b` pre-scaled by `2^4`, one REDC, inverse
+/// transpose. Bit-identical per lane to serial `mont_mul`.
+///
+/// # Safety
+/// Requires avx512ifma + avx512vl at runtime. `Uint<4>` is `repr(C)`-like
+/// 32 contiguous little-endian limb bytes (guaranteed by its definition).
+#[target_feature(enable = "avx512ifma,avx512vl")]
+unsafe fn mont_mul_batch8(
+    a: &[Uint<4>; 8],
+    b: &[Uint<4>; 8],
+    p52: &[u64; 5],
+    p_inv52: u64,
+) -> [Uint<4>; 8] {
+    let idx = |v: [i64; 8]| _mm512_loadu_si512(v.as_ptr() as *const _);
+    let i_lo0 = idx([0, 4, 8, 12, 1, 5, 9, 13]);
+    let i_hi0 = idx([2, 6, 10, 14, 3, 7, 11, 15]);
+    let i_a = idx([0, 1, 2, 3, 8, 9, 10, 11]);
+    let i_b = idx([4, 5, 6, 7, 12, 13, 14, 15]);
+
+    // Transpose lane-major limbs into limb-major slices L0..L3.
+    let transpose = |vals: &[Uint<4>; 8]| -> [__m512i; 4] {
+        let ptr = vals.as_ptr() as *const __m512i;
+        let z0 = _mm512_loadu_si512(ptr);
+        let z1 = _mm512_loadu_si512(ptr.add(1));
+        let z2 = _mm512_loadu_si512(ptr.add(2));
+        let z3 = _mm512_loadu_si512(ptr.add(3));
+        let u01_lo = _mm512_permutex2var_epi64(z0, i_lo0, z1);
+        let u23_lo = _mm512_permutex2var_epi64(z2, i_lo0, z3);
+        let u01_hi = _mm512_permutex2var_epi64(z0, i_hi0, z1);
+        let u23_hi = _mm512_permutex2var_epi64(z2, i_hi0, z3);
+        [
+            _mm512_permutex2var_epi64(u01_lo, i_a, u23_lo),
+            _mm512_permutex2var_epi64(u01_lo, i_b, u23_lo),
+            _mm512_permutex2var_epi64(u01_hi, i_a, u23_hi),
+            _mm512_permutex2var_epi64(u01_hi, i_b, u23_hi),
+        ]
+    };
+
+    let mask52 = _mm512_set1_epi64(M52 as i64);
+    macro_rules! shl {
+        ($x:expr, $n:literal) => {
+            _mm512_slli_epi64($x, $n)
+        };
+    }
+    macro_rules! shr {
+        ($x:expr, $n:literal) => {
+            _mm512_srli_epi64($x, $n)
+        };
+    }
+    let or = |x, y| _mm512_or_epi64(x, y);
+    let and = |x| _mm512_and_epi64(x, mask52);
+
+    let la = transpose(a);
+    let av = [
+        and(la[0]),
+        and(or(shr!(la[0], 52), shl!(la[1], 12))),
+        and(or(shr!(la[1], 40), shl!(la[2], 24))),
+        and(or(shr!(la[2], 28), shl!(la[3], 36))),
+        shr!(la[3], 16),
+    ];
+    // b is packed pre-scaled by 2^4: digit j of 16·b covers bits
+    // [52j-4, 52j+48) of b.
+    let lb = transpose(b);
+    let bv = [
+        and(shl!(lb[0], 4)),
+        and(or(shr!(lb[0], 48), shl!(lb[1], 16))),
+        and(or(shr!(lb[1], 36), shl!(lb[2], 28))),
+        and(or(shr!(lb[2], 24), shl!(lb[3], 40))),
+        shr!(lb[3], 12),
+    ];
+
+    let p: [__m512i; 5] = core::array::from_fn(|j| _mm512_set1_epi64(p52[j] as i64));
+    let p_inv = _mm512_set1_epi64(p_inv52 as i64);
+    let r = redc52x8(&av, &bv, &p, p_inv);
+
+    // Digits back to limb slices, transpose back to lane-major, store.
+    let l0 = or(r[0], shl!(r[1], 52));
+    let l1 = or(shr!(r[1], 12), shl!(r[2], 40));
+    let l2 = or(shr!(r[2], 24), shl!(r[3], 28));
+    let l3 = or(shr!(r[3], 36), shl!(r[4], 16));
+    let i_pair_lo = idx([0, 8, 1, 9, 2, 10, 3, 11]);
+    let i_pair_hi = idx([4, 12, 5, 13, 6, 14, 7, 15]);
+    let i_quad_lo = idx([0, 1, 8, 9, 2, 3, 10, 11]);
+    let i_quad_hi = idx([4, 5, 12, 13, 6, 7, 14, 15]);
+    let v01 = _mm512_permutex2var_epi64(l0, i_pair_lo, l1);
+    let v23 = _mm512_permutex2var_epi64(l2, i_pair_lo, l3);
+    let v45 = _mm512_permutex2var_epi64(l0, i_pair_hi, l1);
+    let v67 = _mm512_permutex2var_epi64(l2, i_pair_hi, l3);
+    let mut out = [Uint::<4>::ZERO; 8];
+    let optr = out.as_mut_ptr() as *mut __m512i;
+    _mm512_storeu_si512(optr, _mm512_permutex2var_epi64(v01, i_quad_lo, v23));
+    _mm512_storeu_si512(optr.add(1), _mm512_permutex2var_epi64(v01, i_quad_hi, v23));
+    _mm512_storeu_si512(optr.add(2), _mm512_permutex2var_epi64(v45, i_quad_lo, v67));
+    _mm512_storeu_si512(optr.add(3), _mm512_permutex2var_epi64(v45, i_quad_hi, v67));
+    out
+}
+
+/// Pair-split kernel for 4 lanes: each value occupies a lane PAIR of the
+/// zmm — even lanes accumulate the `a·b` stream, odd lanes the `m·p`
+/// stream — so 4 multiplications still use all 8 lanes and the madd52
+/// count drops from 100 (padded 8-lane kernel) to 60. One pair swap+add
+/// per round rebuilds the true `t[0]` to derive `m` and the carry.
+///
+/// # Safety
+/// Requires avx512ifma + avx512vl at runtime.
+#[target_feature(enable = "avx512ifma,avx512vl")]
+unsafe fn mont_mul_batch4(
+    a: &[Uint<4>; 4],
+    b: &[Uint<4>; 4],
+    p52: &[u64; 5],
+    p_inv52: u64,
+) -> [Uint<4>; 4] {
+    let idx = |v: [i64; 8]| _mm512_loadu_si512(v.as_ptr() as *const _);
+    let mask52 = _mm512_set1_epi64(M52 as i64);
+    let zero = _mm512_setzero_si512();
+    macro_rules! shl {
+        ($x:expr, $n:literal) => {
+            _mm512_slli_epi64($x, $n)
+        };
+    }
+    macro_rules! shr {
+        ($x:expr, $n:literal) => {
+            _mm512_srli_epi64($x, $n)
+        };
+    }
+    let or = |x, y| _mm512_or_epi64(x, y);
+    let and = |x| _mm512_and_epi64(x, mask52);
+
+    // Limb slices with each value duplicated into its lane pair:
+    // L[j] = [A_j, A_j, B_j, B_j, C_j, C_j, D_j, D_j].
+    let dup_transpose = |vals: &[Uint<4>; 4]| -> [__m512i; 4] {
+        let ptr = vals.as_ptr() as *const __m512i;
+        let z0 = _mm512_loadu_si512(ptr);
+        let z1 = _mm512_loadu_si512(ptr.add(1));
+        [
+            _mm512_permutex2var_epi64(z0, idx([0, 0, 4, 4, 8, 8, 12, 12]), z1),
+            _mm512_permutex2var_epi64(z0, idx([1, 1, 5, 5, 9, 9, 13, 13]), z1),
+            _mm512_permutex2var_epi64(z0, idx([2, 2, 6, 6, 10, 10, 14, 14]), z1),
+            _mm512_permutex2var_epi64(z0, idx([3, 3, 7, 7, 11, 11, 15, 15]), z1),
+        ]
+    };
+
+    // No mask-to-52-bits here: vpmadd52 reads only the low 52 bits of
+    // both operands, so garbage above bit 51 in a multiplier or
+    // multiplicand digit is ignored.
+    let la = dup_transpose(a);
+    let av = [
+        la[0],
+        or(shr!(la[0], 52), shl!(la[1], 12)),
+        or(shr!(la[1], 40), shl!(la[2], 24)),
+        or(shr!(la[2], 28), shl!(la[3], 36)),
+        shr!(la[3], 16),
+    ];
+    let lb = dup_transpose(b);
+    // b pre-scaled by 2^4 (single-REDC domain correction).
+    let bdup = [
+        shl!(lb[0], 4),
+        or(shr!(lb[0], 48), shl!(lb[1], 16)),
+        or(shr!(lb[1], 36), shl!(lb[2], 28)),
+        or(shr!(lb[2], 24), shl!(lb[3], 40)),
+        shr!(lb[3], 12),
+    ];
+
+    let odd: __mmask8 = 0b1010_1010;
+    let even: __mmask8 = 0b0101_0101;
+    let pb: [__m512i; 5] = core::array::from_fn(|j| _mm512_set1_epi64(p52[j] as i64));
+    // bp[j]: b digit in even lanes, p digit in odd lanes.
+    let bp: [__m512i; 5] = core::array::from_fn(|j| _mm512_mask_blend_epi64(odd, bdup[j], pb[j]));
+    // b0 restricted to even lanes (odd lanes must stay untouched by the
+    // leading a_i·b_0 accumulation).
+    let b0_even = _mm512_maskz_mov_epi64(even, bdup[0]);
+    let p_inv = _mm512_set1_epi64(p_inv52 as i64);
+
+    let mut t = [zero; 6];
+    for &ai in &av {
+        // Even lanes gain lo52(a_i·b_0); odd lanes multiply by zero.
+        let x = _mm512_madd52lo_epu64(t[0], ai, b0_even);
+        // True t[0] (+ a_i·b_0) = even part + odd part of each pair
+        // (1-cycle in-lane qword swap).
+        let swapped = _mm512_shuffle_epi32::<{ _MM_PERM_BADC }>(x);
+        let sum = _mm512_add_epi64(x, swapped);
+        let m = _mm512_madd52lo_epu64(zero, sum, p_inv);
+        // Multiplier vector: a_i drives the b stream (even), m drives the
+        // p stream (odd).
+        let u = _mm512_mask_blend_epi64(odd, ai, m);
+        // Full t[0] after this round's lo products; identical in both
+        // pair lanes, so the carry is too.
+        let c_t = _mm512_madd52lo_epu64(sum, m, pb[0]);
+        let carry = shr!(c_t, 52);
+        // hi52 parts of a_i·b_0 / m·p_0, then the carry into ONE lane of
+        // each pair (it is already the combined carry).
+        t[1] = _mm512_madd52hi_epu64(t[1], u, bp[0]);
+        t[1] = _mm512_mask_add_epi64(t[1], even, t[1], carry);
+        for j in 1..5 {
+            t[j] = _mm512_madd52lo_epu64(t[j], u, bp[j]);
+            t[j + 1] = _mm512_madd52hi_epu64(t[j + 1], u, bp[j]);
+        }
+        for j in 0..5 {
+            t[j] = t[j + 1];
+        }
+        t[5] = zero;
+    }
+    // Recombine the two streams, then normalize + conditionally subtract
+    // exactly like the 8-lane kernel.
+    let mut out = [zero; 5];
+    let mut carry = zero;
+    for j in 0..5 {
+        let combined = _mm512_add_epi64(t[j], _mm512_shuffle_epi32::<{ _MM_PERM_BADC }>(t[j]));
+        let v = _mm512_add_epi64(combined, carry);
+        out[j] = and(v);
+        carry = shr!(v, 52);
+    }
+    let mut sub = [zero; 5];
+    let mut borrow = zero;
+    for j in 0..5 {
+        let v = _mm512_sub_epi64(_mm512_sub_epi64(out[j], pb[j]), borrow);
+        borrow = shr!(v, 63);
+        sub[j] = and(v);
+    }
+    let ge = _mm512_cmpeq_epu64_mask(borrow, zero);
+    for j in 0..5 {
+        out[j] = _mm512_mask_blend_epi64(ge, out[j], sub[j]);
+    }
+    // Digits → limb slices (duplicated pairs) → lane-major output.
+    let l0 = or(out[0], shl!(out[1], 52));
+    let l1 = or(shr!(out[1], 12), shl!(out[2], 40));
+    let l2 = or(shr!(out[2], 24), shl!(out[3], 28));
+    let l3 = or(shr!(out[3], 36), shl!(out[4], 16));
+    let w01 = _mm512_permutex2var_epi64(l0, idx([0, 8, 2, 10, 4, 12, 6, 14]), l1);
+    let w23 = _mm512_permutex2var_epi64(l2, idx([0, 8, 2, 10, 4, 12, 6, 14]), l3);
+    let mut res = [Uint::<4>::ZERO; 4];
+    let optr = res.as_mut_ptr() as *mut __m512i;
+    _mm512_storeu_si512(
+        optr,
+        _mm512_permutex2var_epi64(w01, idx([0, 1, 8, 9, 2, 3, 10, 11]), w23),
+    );
+    _mm512_storeu_si512(
+        optr.add(1),
+        _mm512_permutex2var_epi64(w01, idx([4, 5, 12, 13, 6, 7, 14, 15]), w23),
+    );
+    res
+}

@@ -13,7 +13,12 @@
 //!   [`MontgomeryParams`](crate::MontgomeryParams). At matching radix
 //!   (`num_limbs() == 2·LIMBS`, e.g. 256-bit moduli at `LIMBS = 4`) the two
 //!   backends share `R`, making Montgomery forms interchangeable and
-//!   results bit-identical.
+//!   results bit-identical. Batch traffic gets the lane-interleaved
+//!   kernels ([`MontgomeryContext::mont_mul_batch`] and the
+//!   `mont_pow_batch`/`mod_exp_batch` ladders over it) plus Montgomery's
+//!   batch-inversion trick ([`MontgomeryContext::mont_inv_batch`]: one
+//!   Fermat inversion + `3(n-1)` multiplications), every lane bit-identical
+//!   to its serial counterpart.
 //! - Free modular helpers ([`add_mod`], [`sub_mod`], [`neg_mod`],
 //!   [`mul_mod`], [`reduce_wide`]) for reduced fixed-width residues.
 //!
@@ -23,6 +28,9 @@
 //! (`tests/fixed_uint_properties.rs`) pins every operation here to the heap
 //! backend bit for bit.
 
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod ifma;
 mod modular;
 mod montgomery;
 mod uint;

@@ -29,7 +29,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Denied, not forbidden: the AVX-512 IFMA batch kernels (`fixed::ifma`)
+// and their dispatch site are the only opt-outs, each carrying its own
+// `#[allow(unsafe_code)]` and SAFETY comments. Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;

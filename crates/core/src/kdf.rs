@@ -50,7 +50,7 @@ impl ToyKdf {
                 splitmix64(self.state[lane] ^ (b as u64) ^ self.absorbed.rotate_left(17));
             self.absorbed = self.absorbed.wrapping_add(1);
             // Cross-mix lanes after every word boundary.
-            if self.absorbed % 8 == 0 {
+            if self.absorbed.is_multiple_of(8) {
                 self.mix();
             }
         }
@@ -78,7 +78,7 @@ impl ToyKdf {
             let word = splitmix64(st.state[lane] ^ counter.wrapping_mul(0xA076_1D64_78BD_642F));
             out.extend_from_slice(&word.to_le_bytes());
             counter += 1;
-            if counter % 4 == 0 {
+            if counter.is_multiple_of(4) {
                 st.mix();
             }
         }

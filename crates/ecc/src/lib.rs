@@ -52,7 +52,7 @@ pub use params::{P160Reproduction, Secp256k1, Toy, WeierstrassParameters, P256};
 pub use point::{AffinePoint, JacobianPoint};
 #[allow(deprecated)] // re-exported for one release alongside the Curve methods
 pub use scalar::{affine_window_table, scalar_mul, scalar_mul_base};
-pub use scalar::{naf_digits, ScalarMulAlgorithm};
+pub use scalar::{naf_digits, window_digits, ScalarMulAlgorithm};
 
 /// One-line import for the common ECC surface: the parameter trait, the
 /// registered marker types, the curve and point types, and the key-exchange

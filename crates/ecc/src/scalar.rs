@@ -38,11 +38,15 @@ pub enum ScalarMulAlgorithm {
 impl Curve {
     /// Computes `k · point` with the selected algorithm.
     ///
-    /// On 256-bit curves the double-and-add ladder runs on the
-    /// stack-allocated fixed backend ([`Curve::fixed_backend`]) — the same
-    /// formula sequence on the same Montgomery residues, so the result is
-    /// bit-identical to the heap ladder ([`Curve::scalar_mul_reference`]
-    /// pins this).
+    /// On 256-bit curves every algorithm runs on the stack-allocated fixed
+    /// backend ([`Curve::fixed_backend`]): double-and-add and NAF map to
+    /// their fixed ladders, and `Window4` maps to the cached fixed-base
+    /// comb for the curve's base point (or a per-call batch-normalized
+    /// window table for arbitrary points). All results are bit-identical
+    /// to the heap ladders ([`Curve::scalar_mul_reference`] pins this):
+    /// the fixed backend shares the Montgomery radix, and the affine
+    /// coordinates of `k · point` are unique whatever ladder computed
+    /// them.
     pub fn scalar_mul(
         &self,
         point: &AffinePoint,
@@ -52,10 +56,8 @@ impl Curve {
         if k.is_zero() || point.is_infinity() {
             return AffinePoint::Infinity;
         }
-        if algorithm == ScalarMulAlgorithm::DoubleAndAdd {
-            if let Some(result) = self.fixed_scalar_mul(point, k) {
-                return result;
-            }
+        if let Some(result) = self.fixed_scalar_mul_with(point, k, algorithm) {
+            return result;
         }
         self.scalar_mul_reference(point, k, algorithm)
     }
@@ -99,15 +101,39 @@ impl Curve {
     /// affine and the correct multiple) without re-deriving the table.
     pub fn affine_window_table(&self, point: &AffinePoint, window: usize) -> Vec<AffinePoint> {
         let table_len = 1usize << window;
+        // Build the multiples chain in Jacobian form (the addend stays the
+        // affine base point, so every step is a mixed addition), then
+        // normalize the whole chain with ONE batched inversion —
+        // Montgomery's trick via [`field::FpContext::inv_batch`] — instead
+        // of one Fermat inversion per entry. The recorded operation counts
+        // are unchanged (one inversion + four multiplications per finite
+        // entry, infinity entries free, exactly what the per-entry
+        // normalization recorded); only the host-side inversion loops
+        // collapse.
+        let mut chain = Vec::with_capacity(table_len.saturating_sub(2));
+        let mut acc = self.to_jacobian(point);
+        for _ in 2..table_len {
+            acc = self.jacobian_add_mixed(&acc, point);
+            chain.push(acc.clone());
+        }
+        let fp = self.fp();
+        let zs: Vec<_> = chain.iter().map(|p| p.z.clone()).collect();
+        let z_invs = fp.inv_batch(&zs);
         let mut table = Vec::with_capacity(table_len);
         table.push(AffinePoint::Infinity);
         table.push(point.clone());
-        for i in 2..table_len {
-            // Build in Jacobian, normalize immediately: the table is built
-            // once per scalar multiplication, so the per-entry inversion is
-            // the one-time cost that buys mixed additions in the main loop.
-            let next = self.jacobian_add_mixed(&self.to_jacobian(&table[i - 1]), point);
-            table.push(self.to_affine(&next));
+        for (p, z_inv) in chain.iter().zip(z_invs) {
+            table.push(match z_inv {
+                None => AffinePoint::Infinity,
+                Some(z_inv) => {
+                    let z_inv2 = fp.square(&z_inv);
+                    let z_inv3 = fp.mul(&z_inv2, &z_inv);
+                    AffinePoint::Point {
+                        x: fp.mul(&p.x, &z_inv2),
+                        y: fp.mul(&p.y, &z_inv3),
+                    }
+                }
+            });
         }
         table
     }
@@ -144,26 +170,37 @@ fn double_and_add(curve: &Curve, point: &AffinePoint, k: &BigUint) -> JacobianPo
 }
 
 /// Computes the non-adjacent form of `k` (least-significant digit first).
+///
+/// Runs a single O(bits) pass over the bits of `k` with a one-bit carry,
+/// never materializing intermediate big integers: at position `i` the
+/// remaining value is odd iff `bit(i) + carry` is odd, and the NAF rule
+/// `d = 2 - (n mod 4)` (1 → 1, 3 → −1) reads `n mod 4` straight from
+/// `bit(i + 1)` and the carry. The `+1` after emitting −1 is exactly a
+/// carry into the next position.
 pub fn naf_digits(k: &BigUint) -> Vec<i8> {
-    let mut digits = Vec::with_capacity(k.bit_len() + 1);
-    let mut n = k.clone();
-    let two = BigUint::from(2u64);
-    let four = BigUint::from(4u64);
-    while !n.is_zero() {
-        if n.is_odd() {
-            // d = 2 - (n mod 4): maps 1 -> 1 and 3 -> -1.
-            let rem = (&n % &four).to_u64().expect("mod 4 fits");
-            if rem == 1 {
+    let bits = k.bit_len();
+    let mut digits = Vec::with_capacity(bits + 1);
+    let mut carry = 0u8;
+    let mut i = 0;
+    while i < bits || carry != 0 {
+        let b0 = u8::from(k.bit(i)) + carry;
+        if b0 & 1 == 0 {
+            // Even: emit 0; a settled carry (b0 == 2) moves up one bit.
+            digits.push(0);
+            carry = b0 >> 1;
+        } else {
+            // Odd: n mod 4 = (2·bit(i+1) + b0) mod 4 selects ±1; the −1
+            // branch borrows, i.e. carries +1 into bit i + 1.
+            let b1 = u8::from(k.bit(i + 1));
+            if (2 * b1 + b0) & 3 == 1 {
                 digits.push(1);
-                n = &n - &BigUint::one();
+                carry = 0;
             } else {
                 digits.push(-1);
-                n = &n + &BigUint::one();
+                carry = 1;
             }
-        } else {
-            digits.push(0);
         }
-        n = &n / &two;
+        i += 1;
     }
     digits
 }
@@ -190,18 +227,32 @@ pub fn affine_window_table(curve: &Curve, point: &AffinePoint, window: usize) ->
     curve.affine_window_table(point, window)
 }
 
-fn window_mul(curve: &Curve, point: &AffinePoint, k: &BigUint, window: usize) -> JacobianPoint {
-    let table = curve.affine_window_table(point, window);
-    // Process the scalar in w-bit chunks, most significant first.
+/// Splits `k` into unsigned `window`-bit digits, least-significant digit
+/// first — the **shared** recoding used by both the heap and fixed windowed
+/// ladders (and the batch window tables), so the two backends can never
+/// diverge on digit sequences.
+pub fn window_digits(k: &BigUint, window: usize) -> Vec<usize> {
+    assert!(window > 0, "window width must be positive");
     let chunks = k.bit_len().div_ceil(window);
-    let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
-    for chunk in (0..chunks).rev() {
-        for _ in 0..window {
-            acc = curve.jacobian_double(&acc);
-        }
+    let mut digits = Vec::with_capacity(chunks);
+    for chunk in 0..chunks {
         let mut digit = 0usize;
         for b in (0..window).rev() {
             digit = (digit << 1) | k.bit(chunk * window + b) as usize;
+        }
+        digits.push(digit);
+    }
+    digits
+}
+
+fn window_mul(curve: &Curve, point: &AffinePoint, k: &BigUint, window: usize) -> JacobianPoint {
+    let table = curve.affine_window_table(point, window);
+    // Process the scalar in w-bit chunks, most significant first.
+    let digits = window_digits(k, window);
+    let mut acc = curve.to_jacobian(&AffinePoint::Infinity);
+    for &digit in digits.iter().rev() {
+        for _ in 0..window {
+            acc = curve.jacobian_double(&acc);
         }
         if digit != 0 {
             acc = curve.jacobian_add_mixed(&acc, &table[digit]);
@@ -311,6 +362,68 @@ mod tests {
             assert_eq!(fast, reference);
             assert!(curve.is_on_curve(&reference));
         }
+    }
+
+    #[test]
+    fn window_digits_reconstruct_the_scalar() {
+        for k in [0u64, 1, 2, 15, 16, 255, 1_000_003, u64::MAX] {
+            for window in [1usize, 3, 4, 5] {
+                let digits = window_digits(&BigUint::from(k), window);
+                let mut value: u128 = 0;
+                for (i, &d) in digits.iter().enumerate() {
+                    assert!(d < (1 << window));
+                    value += (d as u128) << (i * window);
+                }
+                assert_eq!(value, k as u128, "k = {k}, w = {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_ladders_and_batch_match_heap_reference_on_secp256k1() {
+        let curve = Curve::by_name("secp256k1").unwrap();
+        assert!(curve.fixed_backend().is_some());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let base = curve.base_point().clone();
+        let other = curve.random_point(&mut rng);
+        let order = curve.order().expect("secp256k1 has a known order").clone();
+        let scalars = [
+            BigUint::one(),
+            &order - &BigUint::one(),
+            BigUint::random_bits(&mut rng, 256),
+        ];
+        // Every fixed ladder (D&A, NAF, comb-on-base, window-on-arbitrary)
+        // must be bit-identical to the heap reference ladder.
+        for point in [&base, &other] {
+            for k in &scalars {
+                let reference =
+                    curve.scalar_mul_reference(point, k, ScalarMulAlgorithm::DoubleAndAdd);
+                for alg in [
+                    ScalarMulAlgorithm::DoubleAndAdd,
+                    ScalarMulAlgorithm::Naf,
+                    ScalarMulAlgorithm::Window4,
+                ] {
+                    assert_eq!(curve.scalar_mul(point, k, alg), reference, "{alg:?}");
+                }
+            }
+        }
+        // Batch entry point: mixed bases, edge scalars, an infinity request
+        // and a zero scalar — each element identical to the serial path.
+        let mut requests: Vec<(AffinePoint, BigUint)> = vec![
+            (AffinePoint::Infinity, BigUint::from(5u64)),
+            (base.clone(), BigUint::zero()),
+        ];
+        for k in &scalars {
+            requests.push((base.clone(), k.clone()));
+            requests.push((other.clone(), k.clone()));
+        }
+        let batch = curve.scalar_mul_batch(&requests);
+        assert_eq!(batch.len(), requests.len());
+        for ((point, k), got) in requests.iter().zip(&batch) {
+            let serial = curve.scalar_mul(point, k, ScalarMulAlgorithm::DoubleAndAdd);
+            assert_eq!(*got, serial);
+        }
+        assert!(curve.scalar_mul_batch(&[]).is_empty());
     }
 
     #[test]

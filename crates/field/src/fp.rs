@@ -342,6 +342,127 @@ impl FpContext {
         acc
     }
 
+    /// Batched modular exponentiation: `out[i] = pairs[i].0 ^ pairs[i].1`.
+    ///
+    /// On 256-bit primes the squaring ladders run **lane-parallel** on the
+    /// fixed backend ([`bignum::fixed::MontgomeryContext::mont_pow_batch`],
+    /// four lanes per pass) so batch traffic amortizes host wall-clock; a
+    /// trailing partial chunk — and every element on non-256-bit fields or
+    /// with an exponent wider than 256 bits — falls back to the serial
+    /// [`FpContext::exp`] loop.
+    ///
+    /// Results are bit-identical to calling `exp` element by element, and
+    /// so are the recorded operation counts (one multiplication per
+    /// squaring plus one per set exponent bit, **per element** — the batch
+    /// kernel's lane-lockstep padding squarings are not modeled work).
+    pub fn exp_batch(&self, pairs: &[(FpElement, BigUint)]) -> Vec<FpElement> {
+        const LANES: usize = 4;
+        let mut out: Vec<Option<FpElement>> = vec![None; pairs.len()];
+        let mut lanes: Vec<(usize, Uint<4>, Uint<4>)> = Vec::new();
+        if let Some(ctx) = self.inner.fixed256.as_ref() {
+            for (i, (base, exp)) in pairs.iter().enumerate() {
+                if let (Some(b), Some(e)) = (
+                    Uint::<4>::from_biguint(&base.mont),
+                    Uint::<4>::from_biguint(exp),
+                ) {
+                    lanes.push((i, b, e));
+                }
+            }
+            for group in lanes.chunks(LANES) {
+                if let [l0, l1, l2, l3] = group {
+                    let pow =
+                        ctx.mont_pow_batch(&[l0.1, l1.1, l2.1, l3.1], &[l0.2, l1.2, l2.2, l3.2]);
+                    for (lane, (i, _, _)) in group.iter().enumerate() {
+                        self.record_serial_exp_ops(&pairs[*i].1);
+                        out[*i] = Some(FpElement {
+                            mont: pow[lane].to_biguint(),
+                        });
+                    }
+                }
+            }
+        }
+        for (i, (base, exp)) in pairs.iter().enumerate() {
+            if out[i].is_none() {
+                out[i] = Some(self.exp(base, exp));
+            }
+        }
+        out.into_iter()
+            .map(|e| e.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Records what the serial square-and-multiply loop would record for
+    /// exponent `exp` — the batch entry points keep the modeled operation
+    /// counts identical to their serial counterparts.
+    fn record_serial_exp_ops(&self, exp: &BigUint) {
+        for i in 0..exp.bit_len() {
+            self.inner.counter.record_mul();
+            if exp.bit(i) {
+                self.inner.counter.record_mul();
+            }
+        }
+    }
+
+    /// Batched modular inversion by **Montgomery's trick**: one Fermat
+    /// inversion plus `3(n-1)` multiplications for the whole batch of `n`
+    /// non-zero elements, instead of one Fermat inversion each. Zero
+    /// elements yield `None` without disturbing their neighbours.
+    ///
+    /// Results are bit-identical to calling [`FpContext::inv`] element by
+    /// element, and so are the recorded operation counts: one inversion
+    /// per non-zero element and no multiplications — inversion stays its
+    /// own primitive (the trick's internal products are host bookkeeping,
+    /// not modeled field work). On 256-bit primes the chain runs on the
+    /// fixed backend; other fields use the heap Montgomery parameters.
+    pub fn inv_batch(&self, elems: &[FpElement]) -> Vec<Option<FpElement>> {
+        let live: Vec<usize> = (0..elems.len()).filter(|&i| !elems[i].is_zero()).collect();
+        for _ in &live {
+            self.inner.counter.record_inv();
+        }
+        let mut out: Vec<Option<FpElement>> = vec![None; elems.len()];
+        if live.is_empty() {
+            return out;
+        }
+        if let Some(ctx) = self.inner.fixed256.as_ref() {
+            let mut values: Vec<Uint<4>> = live
+                .iter()
+                .map(|&i| {
+                    Uint::<4>::from_biguint(&elems[i].mont)
+                        .expect("256-bit field residue fits in 4 limbs")
+                })
+                .collect();
+            let mut scratch = vec![Uint::<4>::ZERO; values.len()];
+            let ok = ctx.mont_inv_batch(&mut values, &mut scratch);
+            debug_assert!(ok, "non-zero elements invert");
+            for (slot, inv) in live.iter().zip(values) {
+                out[*slot] = Some(FpElement {
+                    mont: inv.to_biguint(),
+                });
+            }
+            return out;
+        }
+        // Heap path: the same prefix-product chain on the raw Montgomery
+        // parameters (deliberately uncounted — see the doc note above).
+        let mont = &self.inner.mont;
+        let mut prefix: Vec<BigUint> = Vec::with_capacity(live.len());
+        for &i in &live {
+            prefix.push(match prefix.last() {
+                None => elems[i].mont.clone(),
+                Some(acc) => mont.mont_mul(acc, &elems[i].mont),
+            });
+        }
+        let exp = &self.inner.modulus - &BigUint::from(2u64);
+        let mut inv = mont.mont_pow(prefix.last().expect("live is non-empty"), &exp);
+        for idx in (1..live.len()).rev() {
+            out[live[idx]] = Some(FpElement {
+                mont: mont.mont_mul(&inv, &prefix[idx - 1]),
+            });
+            inv = mont.mont_mul(&inv, &elems[live[idx]].mont);
+        }
+        out[live[0]] = Some(FpElement { mont: inv });
+        out
+    }
+
     /// Modular inversion via Fermat's little theorem. Returns `None` for zero.
     pub fn inv(&self, a: &FpElement) -> Option<FpElement> {
         if a.is_zero() {
@@ -660,6 +781,74 @@ mod tests {
         let _ = fp.mul(&a, &a);
         let _ = heap.mul(&a, &a);
         assert_eq!(fp.op_count().mul, 2);
+    }
+
+    #[test]
+    fn exp_batch_matches_serial_on_both_backends() {
+        let p =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap();
+        for fp in [FpContext::new(&p).unwrap(), ctx()] {
+            let heap = fp.heap_only();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            // 7 pairs: exercises a full lane group plus a partial trailing
+            // chunk, with edge exponents {0, 1, p-1} mixed in.
+            let mut pairs: Vec<(FpElement, BigUint)> = vec![
+                (fp.random(&mut rng), BigUint::zero()),
+                (fp.random(&mut rng), BigUint::one()),
+                (fp.random(&mut rng), fp.modulus() - &BigUint::one()),
+            ];
+            for _ in 0..4 {
+                let e = BigUint::random_below(&mut rng, fp.modulus());
+                pairs.push((fp.random(&mut rng), e));
+            }
+            let serial: Vec<FpElement> = pairs.iter().map(|(b, e)| heap.exp(b, e)).collect();
+            fp.reset_op_count();
+            let expected: Vec<FpElement> = pairs.iter().map(|(b, e)| fp.exp(b, e)).collect();
+            let serial_count = fp.op_count();
+            assert_eq!(expected, serial, "fixed serial path matches heap");
+            fp.reset_op_count();
+            let batch = fp.exp_batch(&pairs);
+            assert_eq!(batch, serial, "batch bit-identical to serial");
+            assert_eq!(
+                fp.op_count().mul,
+                serial_count.mul,
+                "batch records serial-equivalent mul counts"
+            );
+            assert!(fp.exp_batch(&[]).is_empty());
+            let single = fp.exp_batch(&pairs[..1]);
+            assert_eq!(single, serial[..1]);
+        }
+    }
+
+    #[test]
+    fn inv_batch_matches_serial_and_skips_zeros() {
+        let p =
+            BigUint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap();
+        for fp in [FpContext::new(&p).unwrap(), ctx()] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            let mut elems: Vec<FpElement> = (0..6).map(|_| fp.random(&mut rng)).collect();
+            elems.insert(2, fp.zero());
+            elems.push(fp.from_u64(1));
+            fp.reset_op_count();
+            let batch = fp.inv_batch(&elems);
+            let count = fp.op_count();
+            for (e, inv) in elems.iter().zip(&batch) {
+                assert_eq!(inv.as_ref(), fp.inv(e).as_ref(), "batch matches serial inv");
+                if let Some(inv) = inv {
+                    assert_eq!(fp.mul(e, inv), fp.one());
+                }
+            }
+            assert!(batch[2].is_none(), "zero element yields None");
+            // One recorded inversion per non-zero element, no recorded muls:
+            // inversion stays its own primitive.
+            assert_eq!((count.inv, count.mul), (7, 0));
+            assert!(fp.inv_batch(&[]).is_empty());
+            assert_eq!(fp.inv_batch(&[fp.zero()]), vec![None]);
+            let one_batch = fp.inv_batch(&elems[..1]);
+            assert_eq!(one_batch[0], fp.inv(&elems[0]));
+        }
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub fn pad_sign(digest: &[u8], block_len: usize) -> Result<Vec<u8>, RsaError> {
     let mut block = Vec::with_capacity(block_len);
     block.push(0x00);
     block.push(0x01);
-    block.extend(std::iter::repeat(0xFF).take(pad_len));
+    block.extend(std::iter::repeat_n(0xFF, pad_len));
     block.push(0x00);
     block.extend_from_slice(digest);
     Ok(block)
